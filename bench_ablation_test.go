@@ -1,0 +1,132 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// reports the CPI of a design point pair as custom metrics, so the cost or
+// benefit of the choice is visible directly in the benchmark output:
+//
+//	go test -bench=Ablation -benchtime=1x
+package pinnedloads
+
+import (
+	"testing"
+)
+
+// ablationRun executes a short run and reports its CPI under the metric.
+func ablationRun(b *testing.B, metric string, spec RunSpec) {
+	b.Helper()
+	if spec.Warmup == 0 {
+		spec.Warmup = 3_000
+	}
+	if spec.Measure == 0 {
+		spec.Measure = 15_000
+	}
+	res, err := Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.CPI, metric)
+}
+
+// BenchmarkAblationTSO compares the aggressive TSO implementation the
+// paper's evaluation uses (the oldest load is never squashed) against the
+// conservative Intel-style design, under Fence-Comp.
+func BenchmarkAblationTSO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		aggressive := PaperConfig(1)
+		conservative := PaperConfig(1)
+		conservative.AggressiveTSO = false
+		spec := RunSpec{Benchmark: "gcc_r", Scheme: Fence, Variant: Comp}
+		spec.Config = &aggressive
+		ablationRun(b, "aggressive-CPI", spec)
+		spec.Config = &conservative
+		ablationRun(b, "conservative-CPI", spec)
+	}
+}
+
+// BenchmarkAblationPinRecord compares the LQ-based pinned-line record
+// (paper Section 6.1.1, the chosen design) with the L1-tag record
+// (Section 6.1.2), which pays L1 port pressure on pin and unpin.
+func BenchmarkAblationPinRecord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lq := PaperConfig(1)
+		tags := PaperConfig(1)
+		tags.PinRecordL1Tags = true
+		spec := RunSpec{Benchmark: "fotonik3d_r", Scheme: Fence, Variant: EP}
+		spec.Config = &lq
+		ablationRun(b, "LQ-record-CPI", spec)
+		spec.Config = &tags
+		ablationRun(b, "L1tag-record-CPI", spec)
+	}
+}
+
+// BenchmarkAblationCST compares the default finite CSTs against an
+// infinitely precise table (Section 9.2.1's upper bound).
+func BenchmarkAblationCST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		def := PaperConfig(1)
+		inf := PaperConfig(1)
+		inf.InfiniteCST = true
+		spec := RunSpec{Benchmark: "bwaves_r", Scheme: Fence, Variant: EP}
+		spec.Config = &def
+		ablationRun(b, "default-CST-CPI", spec)
+		spec.Config = &inf
+		ablationRun(b, "infinite-CST-CPI", spec)
+	}
+}
+
+// BenchmarkAblationPrefetcher measures the next-line prefetcher's value on
+// a streaming workload.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := PaperConfig(1)
+		off := PaperConfig(1)
+		off.Prefetch = false
+		spec := RunSpec{Benchmark: "cactuBSSN_r", Scheme: Unsafe}
+		spec.Config = &on
+		ablationRun(b, "prefetch-on-CPI", spec)
+		spec.Config = &off
+		ablationRun(b, "prefetch-off-CPI", spec)
+	}
+}
+
+// BenchmarkAblationPredictor compares the parametric misprediction model
+// with the live TAGE frontend.
+func BenchmarkAblationPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		parametric := PaperConfig(1)
+		live := PaperConfig(1)
+		live.RealPredictor = true
+		spec := RunSpec{Benchmark: "leela_r", Scheme: Fence, Variant: EP}
+		spec.Config = &parametric
+		ablationRun(b, "parametric-CPI", spec)
+		spec.Config = &live
+		ablationRun(b, "live-TAGE-CPI", spec)
+	}
+}
+
+// BenchmarkAblationCPTReserve compares the basic stall-on-overflow CPT with
+// the Section 6.3 reserving design under heavy contention (1-entry CPT).
+func BenchmarkAblationCPTReserve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		basic := PaperConfig(8)
+		basic.CPTEntries = 1
+		reserving := basic
+		reserving.CPTReserve = true
+		spec := RunSpec{Benchmark: "radiosity", Scheme: Fence, Variant: EP,
+			Warmup: 1_000, Measure: 6_000}
+		spec.Config = &basic
+		ablationRun(b, "basic-CPT-CPI", spec)
+		spec.Config = &reserving
+		ablationRun(b, "reserving-CPT-CPI", spec)
+	}
+}
+
+// BenchmarkAblationInvisiSpec measures the InvisiSpec-style scheme's double
+// access cost and how much Pinned Loads recovers, on a miss-heavy workload.
+func BenchmarkAblationInvisiSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := RunSpec{Benchmark: "fotonik3d_r", Scheme: IS}
+		spec.Variant = Comp
+		ablationRun(b, "IS-comp-CPI", spec)
+		spec.Variant = EP
+		ablationRun(b, "IS-EP-CPI", spec)
+	}
+}

@@ -1,0 +1,168 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its experiment (at a
+// reduced simulation sizing so `go test -bench=.` completes in minutes; use
+// cmd/plbench for the full-size reference run recorded in EXPERIMENTS.md)
+// and reports the headline numbers as custom metrics:
+//
+//	go test -bench=Figure7 -benchmem
+//	go test -bench=. -benchmem          # everything
+package pinnedloads
+
+import (
+	"testing"
+
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/experiments"
+)
+
+// benchParams is the sizing used by the benchmark harness.
+func benchParams() experiments.Params {
+	return experiments.Params{Warmup: 3_000, Measure: 12_000, Seed: 1}
+}
+
+// BenchmarkTable1Hardware reports the Pinned Loads storage (Section 9.2.4).
+func BenchmarkTable1Hardware(b *testing.B) {
+	cfg := PaperConfig(8)
+	var cost HardwareCost
+	for i := 0; i < b.N; i++ {
+		cost = Cost(&cfg)
+	}
+	b.ReportMetric(float64(cost.L1CSTBytes), "L1CST-bytes")
+	b.ReportMetric(float64(cost.DirCSTBytes), "DirCST-bytes")
+}
+
+// BenchmarkFigure1 regenerates the VP-condition breakdown.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunFigure1(r)
+		o := f.Overhead["SPEC17"]
+		b.ReportMetric(o[3], "SPEC17-total-%")
+		b.ReportMetric(o[3]-o[2], "SPEC17-MCV-%")
+	}
+}
+
+// BenchmarkFigure2 regenerates the load-overlap microbenchmark.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunFigure2(r)
+		ind := f.CPI["independent"]
+		b.ReportMetric(ind["Safe(COMP)"]/ind["Unsafe"], "safe-vs-unsafe")
+		b.ReportMetric(ind["EP"]/ind["Unsafe"], "EP-vs-unsafe")
+	}
+}
+
+// BenchmarkFigure7 regenerates the SPEC17 normalized-CPI sweep.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunCPIFigure(r, "Figure 7", "SPEC17")
+		for _, sch := range f.Schemes {
+			name := sch.String()
+			b.ReportMetric((f.GeoMean[sch][defense.Comp]-1)*100, name+"-COMP-%")
+			b.ReportMetric((f.GeoMean[sch][defense.EP]-1)*100, name+"-EP-%")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the SPLASH2+PARSEC sweep.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunCPIFigure(r, "Figure 8", "SPLASH2", "PARSEC")
+		for _, sch := range f.Schemes {
+			name := sch.String()
+			b.ReportMetric((f.GeoMean[sch][defense.Comp]-1)*100, name+"-COMP-%")
+			b.ReportMetric((f.GeoMean[sch][defense.EP]-1)*100, name+"-EP-%")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the overhead breakdown with LP/EP bars.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunFigure9(r)
+		for _, row := range f.Rows {
+			if row.Group == "SPEC17" {
+				b.ReportMetric(row.EP, row.Scheme.String()+"-EP-%")
+			}
+		}
+	}
+}
+
+// BenchmarkSection913Traffic regenerates the retry-rate analysis.
+func BenchmarkSection913Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunTraffic(r)
+		var maxW float64
+		for _, row := range f.Rows {
+			if row.MaxWrites > maxW {
+				maxW = row.MaxWrites
+			}
+		}
+		b.ReportMetric(maxW, "retried-writes/Minst")
+	}
+}
+
+// BenchmarkSection921CST regenerates the CST sensitivity study.
+func BenchmarkSection921CST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunCSTStudy(r)
+		b.ReportMetric(f.L1FP["SPEC17"]*100, "L1-FP-%")
+		b.ReportMetric(f.OverheadDelta["SPEC17"], "vs-infinite-%")
+	}
+}
+
+// BenchmarkSection922CPT regenerates the CPT occupancy study.
+func BenchmarkSection922CPT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunCPTStudy(r)
+		b.ReportMetric(f.MeanOccupancy, "mean-occupancy")
+		b.ReportMetric(float64(f.MaxOccupancy), "max-occupancy")
+	}
+}
+
+// BenchmarkSection923Wd regenerates the Wd=1 sensitivity study.
+func BenchmarkSection923Wd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchParams())
+		f := experiments.RunWdStudy(r)
+		for _, row := range f.Rows {
+			if row.Scheme == defense.Fence && row.Group == "SPEC17" {
+				b.ReportMetric(row.Wd2Percent, "Fence-Wd2-%")
+				b.ReportMetric(row.Wd1Percent, "Fence-Wd1-%")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall-clock second) on the unsafe baseline.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunSpec{Benchmark: "gcc_r", Scheme: Unsafe,
+			Warmup: 1_000, Measure: 20_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkSimulatorParallel measures 8-core simulation speed under the
+// heaviest configuration (Fence + EP).
+func BenchmarkSimulatorParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunSpec{Benchmark: "fft", Scheme: Fence, Variant: EP,
+			Warmup: 500, Measure: 4_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}

@@ -1,0 +1,168 @@
+// Command plbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	plbench -fig 7                # Figure 7 (SPEC17 normalized CPI)
+//	plbench -fig 1,2,7,8,9        # several figures
+//	plbench -sec 9.1.3,9.2.1      # section studies
+//	plbench -table 1              # architecture + hardware tables
+//	plbench -all                  # everything
+//	plbench -quick -fig 7         # fast, low-precision sizing
+//	plbench -measure 100000 -warmup 20000 -seed 2 ...
+//
+// Results print as text tables; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pinnedloads/internal/experiments"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "", "comma-separated figures to regenerate (1,2,7,8,9)")
+		secs    = flag.String("sec", "", "comma-separated sections (9.1.3, 9.2.1, 9.2.2, 9.2.3, 9.2.4)")
+		tables  = flag.String("table", "", "tables to print (1)")
+		all     = flag.Bool("all", false, "regenerate everything")
+		quick   = flag.Bool("quick", false, "use fast, low-precision simulation sizing")
+		warmup  = flag.Int64("warmup", 0, "override warmup instructions per core")
+		measure = flag.Int64("measure", 0, "override measured instructions per core")
+		seed    = flag.Uint64("seed", 0, "override workload seed")
+		verbose = flag.Bool("v", false, "print each simulation as it completes")
+		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
+		chart   = flag.Bool("chart", false, "render figures as terminal bar charts too")
+	)
+	flag.Parse()
+
+	params := experiments.DefaultParams()
+	if *quick {
+		params = experiments.QuickParams()
+	}
+	if *warmup > 0 {
+		params.Warmup = *warmup
+	}
+	if *measure > 0 {
+		params.Measure = *measure
+	}
+	if *seed > 0 {
+		params.Seed = *seed
+	}
+	runner := experiments.NewRunner(params)
+	if *verbose {
+		runner.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	want := func(list, item string) bool {
+		if *all {
+			return true
+		}
+		for _, f := range strings.Split(list, ",") {
+			if strings.TrimSpace(f) == item {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := false
+	section := func(fn func()) {
+		ran = true
+		start := time.Now()
+		fn()
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if want(*tables, "1") {
+		section(func() {
+			fmt.Println(experiments.ArchTable())
+			fmt.Println(experiments.HardwareTable())
+		})
+	}
+	saveCSV := func(name string, result any) {
+		if *csvDir == "" {
+			return
+		}
+		if path, err := experiments.WriteCSV(*csvDir, name, result); err != nil {
+			fmt.Fprintf(os.Stderr, "plbench: csv: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	if want(*figs, "1") {
+		section(func() {
+			f := experiments.RunFigure1(runner)
+			fmt.Println(f)
+			if *chart {
+				fmt.Println(f.Chart())
+			}
+			saveCSV("figure1", f)
+		})
+	}
+	if want(*figs, "2") {
+		section(func() { fmt.Println(experiments.RunFigure2(runner)) })
+	}
+	if want(*figs, "7") {
+		section(func() {
+			f := experiments.RunCPIFigure(runner, "Figure 7 (SPEC17)", "SPEC17")
+			fmt.Println(f)
+			if *chart {
+				fmt.Println(f.Chart())
+			}
+			saveCSV("figure7", f)
+		})
+	}
+	if want(*figs, "8") {
+		section(func() {
+			f := experiments.RunCPIFigure(runner, "Figure 8 (SPLASH2+PARSEC)", "SPLASH2", "PARSEC")
+			fmt.Println(f)
+			if *chart {
+				fmt.Println(f.Chart())
+			}
+			saveCSV("figure8", f)
+		})
+	}
+	if want(*figs, "9") {
+		section(func() {
+			f := experiments.RunFigure9(runner)
+			fmt.Println(f)
+			if *chart {
+				fmt.Println(f.Chart())
+			}
+			saveCSV("figure9", f)
+		})
+	}
+	if want(*secs, "9.1.3") {
+		section(func() {
+			f := experiments.RunTraffic(runner)
+			fmt.Println(f)
+			saveCSV("traffic", f)
+		})
+	}
+	if want(*secs, "9.2.1") {
+		section(func() { fmt.Println(experiments.RunCSTStudy(runner)) })
+	}
+	if want(*secs, "9.2.2") {
+		section(func() { fmt.Println(experiments.RunCPTStudy(runner)) })
+	}
+	if want(*secs, "9.2.3") {
+		section(func() {
+			f := experiments.RunWdStudy(runner)
+			fmt.Println(f)
+			saveCSV("wd_study", f)
+		})
+	}
+	if want(*secs, "9.2.4") {
+		section(func() { fmt.Println(experiments.HardwareTable()) })
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

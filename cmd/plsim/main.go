@@ -1,0 +1,128 @@
+// Command plsim runs one simulation and prints its statistics.
+//
+// Usage:
+//
+//	plsim -bench mcf_r -scheme fence -variant ep
+//	plsim -bench fft -scheme stt -variant comp -measure 50000 -counters
+//	plsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pinnedloads"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc_r", "benchmark proxy name")
+		scheme   = flag.String("scheme", "fence", "defense scheme: unsafe, fence, dom, stt, is")
+		variant  = flag.String("variant", "comp", "configuration: comp, lp, ep, spectre")
+		warmup   = flag.Int64("warmup", 0, "warmup instructions per core")
+		measure  = flag.Int64("measure", 0, "measured instructions per core")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		baseline = flag.Bool("baseline", false, "also run Unsafe and report the normalized overhead")
+		counters = flag.Bool("counters", false, "dump all event counters")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		list     = flag.Bool("list", false, "list available benchmark proxies")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, suite := range []string{"SPEC17", "SPLASH2", "PARSEC"} {
+			var names []string
+			for _, p := range suiteProfiles(suite) {
+				names = append(names, p.BenchName)
+			}
+			sort.Strings(names)
+			fmt.Printf("%s: %s\n", suite, strings.Join(names, " "))
+		}
+		return
+	}
+
+	schemes := map[string]pinnedloads.Scheme{
+		"unsafe": pinnedloads.Unsafe, "fence": pinnedloads.Fence,
+		"dom": pinnedloads.DOM, "stt": pinnedloads.STT, "is": pinnedloads.IS,
+	}
+	variants := map[string]pinnedloads.Variant{
+		"comp": pinnedloads.Comp, "lp": pinnedloads.LP,
+		"ep": pinnedloads.EP, "spectre": pinnedloads.Spectre,
+	}
+	sch, ok := schemes[strings.ToLower(*scheme)]
+	if !ok {
+		fatal("unknown scheme %q", *scheme)
+	}
+	v, ok := variants[strings.ToLower(*variant)]
+	if !ok {
+		fatal("unknown variant %q", *variant)
+	}
+
+	spec := pinnedloads.RunSpec{
+		Benchmark: *bench, Scheme: sch, Variant: v,
+		Warmup: *warmup, Measure: *measure, Seed: *seed,
+	}
+	res, err := pinnedloads.Run(spec)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *asJSON {
+		out := map[string]any{
+			"benchmark": *bench,
+			"scheme":    sch.String(),
+			"variant":   v.String(),
+			"cpi":       res.CPI,
+			"cycles":    res.Cycles,
+			"insts":     res.Insts,
+		}
+		if *counters {
+			cm := map[string]uint64{}
+			for _, name := range res.Counters.Names() {
+				cm[name] = res.Counters.Get(name)
+			}
+			out["counters"] = cm
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	fmt.Printf("%s %s-%s: CPI=%.4f (%d cycles / %d insts per core)\n",
+		*bench, sch, v, res.CPI, res.Cycles, res.Insts)
+
+	if *baseline {
+		spec.Scheme = pinnedloads.Unsafe
+		spec.Variant = pinnedloads.Comp
+		base, err := pinnedloads.Run(spec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s Unsafe: CPI=%.4f; normalized CPI %.3f, execution overhead %.1f%%\n",
+			*bench, base.CPI, res.CPI/base.CPI, pinnedloads.Overhead(res.CPI, base.CPI))
+	}
+	if *counters {
+		fmt.Print(res.Counters.String())
+	}
+}
+
+func suiteProfiles(suite string) []*pinnedloads.Profile {
+	switch suite {
+	case "SPEC17":
+		return pinnedloads.SPEC17()
+	case "SPLASH2":
+		return pinnedloads.SPLASH2()
+	default:
+		return pinnedloads.PARSEC()
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "plsim: "+format+"\n", args...)
+	os.Exit(1)
+}

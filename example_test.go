@@ -1,0 +1,56 @@
+package pinnedloads_test
+
+import (
+	"fmt"
+	"log"
+
+	"pinnedloads"
+)
+
+// ExampleRun measures how much of the Fence defense scheme's execution
+// overhead Early Pinning removes on one benchmark proxy.
+func ExampleRun() {
+	spec := pinnedloads.RunSpec{
+		Benchmark: "fotonik3d_r",
+		Warmup:    2_000,
+		Measure:   10_000,
+	}
+
+	spec.Scheme = pinnedloads.Unsafe
+	base, err := pinnedloads.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec.Scheme = pinnedloads.Fence
+	spec.Variant = pinnedloads.Comp
+	comp, err := pinnedloads.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec.Variant = pinnedloads.EP
+	ep, err := pinnedloads.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	overheadComp := pinnedloads.Overhead(comp.CPI, base.CPI)
+	overheadEP := pinnedloads.Overhead(ep.CPI, base.CPI)
+	fmt.Println("comprehensive overhead positive:", overheadComp > 0)
+	fmt.Println("early pinning cheaper:", overheadEP < overheadComp)
+	fmt.Println("removes more than a third:", overheadEP < overheadComp*2/3)
+	// Output:
+	// comprehensive overhead positive: true
+	// early pinning cheaper: true
+	// removes more than a third: true
+}
+
+// ExampleCost prints the Pinned Loads hardware budget of the paper's
+// configuration.
+func ExampleCost() {
+	cfg := pinnedloads.PaperConfig(8)
+	fmt.Println(pinnedloads.Cost(&cfg))
+	// Output:
+	// L1 CST: 444 B; Dir/LLC CST: 370 B; CPT: 29 B; LQ tags: 148 B
+}

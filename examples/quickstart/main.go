@@ -1,0 +1,63 @@
+// Quickstart: measure the execution overhead of a secure processor with
+// and without Pinned Loads on one SPEC17 proxy benchmark.
+//
+//	go run ./examples/quickstart [benchmark]
+//
+// The program runs the Unsafe baseline, then the Fence defense scheme under
+// the Comprehensive threat model without and with Pinned Loads (Late and
+// Early Pinning), and prints the normalized CPI — the paper's Figure 7
+// metric for one application.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pinnedloads"
+)
+
+func main() {
+	bench := "fotonik3d_r"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	if pinnedloads.Benchmark(bench) == nil {
+		log.Fatalf("unknown benchmark %q (try: plsim -list)", bench)
+	}
+
+	fmt.Printf("Pinned Loads quickstart — benchmark %s\n\n", bench)
+
+	run := func(s pinnedloads.Scheme, v pinnedloads.Variant) pinnedloads.Result {
+		res, err := pinnedloads.Run(pinnedloads.RunSpec{
+			Benchmark: bench, Scheme: s, Variant: v,
+			Warmup: 10_000, Measure: 40_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(pinnedloads.Unsafe, pinnedloads.Comp)
+	fmt.Printf("%-28s CPI %.3f (baseline)\n", "Unsafe", base.CPI)
+
+	for _, cfg := range []struct {
+		name    string
+		variant pinnedloads.Variant
+	}{
+		{"Fence (Comprehensive)", pinnedloads.Comp},
+		{"Fence + Late Pinning", pinnedloads.LP},
+		{"Fence + Early Pinning", pinnedloads.EP},
+		{"Fence (Spectre model)", pinnedloads.Spectre},
+	} {
+		res := run(pinnedloads.Fence, cfg.variant)
+		fmt.Printf("%-28s CPI %.3f  normalized %.3f  overhead %+.1f%%\n",
+			cfg.name, res.CPI, res.CPI/base.CPI,
+			pinnedloads.Overhead(res.CPI, base.CPI))
+	}
+
+	fmt.Println("\nPinning makes loads invulnerable to memory-consistency " +
+		"squashes early, so the Visibility Point reaches younger loads sooner " +
+		"and the defense scheme's stalls shrink (paper Sections 3 and 9).")
+}

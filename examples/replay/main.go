@@ -1,0 +1,72 @@
+// Replay: record a workload to a binary trace file, replay it, and show
+// that the simulation is bit-identical — the reproducibility workflow for
+// sharing experiments (compare gem5 checkpoint distribution in the paper's
+// artifact, Appendix A).
+//
+//	go run ./examples/replay [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pinnedloads"
+)
+
+func main() {
+	bench := "xalancbmk_r"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	w := pinnedloads.Benchmark(bench)
+	if w == nil {
+		log.Fatalf("unknown benchmark %q", bench)
+	}
+
+	dir, err := os.MkdirTemp("", "pinnedloads-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, bench+".pltr")
+
+	const insts = 40_000
+	if err := pinnedloads.RecordTrace(w, 1, insts, path); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("recorded %d instructions of %s to %s (%d KB, %.1f bits/inst)\n",
+		insts, bench, filepath.Base(path), fi.Size()/1024,
+		float64(fi.Size())*8/float64(insts))
+
+	spec := pinnedloads.RunSpec{Scheme: pinnedloads.Fence, Variant: pinnedloads.EP,
+		Warmup: 5_000, Measure: 25_000}
+
+	spec.Benchmark = bench
+	live, err := pinnedloads.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	replayed, err := pinnedloads.LoadTrace(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Benchmark = ""
+	spec.Workload = replayed
+	replay, err := pinnedloads.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("live generator: %d cycles (CPI %.4f)\n", live.Cycles, live.CPI)
+	fmt.Printf("trace replay:   %d cycles (CPI %.4f)\n", replay.Cycles, replay.CPI)
+	if live.Cycles == replay.Cycles {
+		fmt.Println("bit-identical: the trace file fully captures the workload.")
+	} else {
+		fmt.Println("DIVERGED — this should never happen; please file a bug.")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Schemes: sweep every defense scheme and Pinned Loads variant over one
+// benchmark and print a Figure 7-style row.
+//
+//	go run ./examples/schemes [benchmark]
+//
+// The output is one application's slice of the paper's Figures 7/8: for
+// each of Fence, DOM, and STT, the normalized CPI under the Comprehensive
+// model, with Late Pinning, with Early Pinning, and under the Spectre
+// model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pinnedloads"
+)
+
+func main() {
+	bench := "mcf_r"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	if pinnedloads.Benchmark(bench) == nil {
+		log.Fatalf("unknown benchmark %q", bench)
+	}
+
+	spec := pinnedloads.RunSpec{Benchmark: bench, Warmup: 8_000, Measure: 30_000}
+
+	spec.Scheme = pinnedloads.Unsafe
+	spec.Variant = pinnedloads.Comp
+	base, err := pinnedloads.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: normalized CPI over Unsafe (baseline CPI %.3f)\n\n", bench, base.CPI)
+	fmt.Printf("%-8s %8s %8s %8s %8s\n", "Scheme", "COMP", "LP", "EP", "SPECTRE")
+
+	for _, s := range []pinnedloads.Scheme{pinnedloads.Fence, pinnedloads.DOM, pinnedloads.STT} {
+		fmt.Printf("%-8s", s)
+		for _, v := range []pinnedloads.Variant{pinnedloads.Comp, pinnedloads.LP,
+			pinnedloads.EP, pinnedloads.Spectre} {
+			spec.Scheme, spec.Variant = s, v
+			res, err := pinnedloads.Run(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.3f", res.CPI/base.CPI)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nExpected shape (paper Figures 7-9): COMP > LP > EP > SPECTRE within")
+	fmt.Println("each scheme, and Fence > DOM > STT across schemes.")
+}

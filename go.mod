@@ -1,0 +1,3 @@
+module pinnedloads
+
+go 1.23

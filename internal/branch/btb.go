@@ -1,0 +1,78 @@
+package branch
+
+// BTB is a direct-mapped branch target buffer. In the trace-driven
+// simulator targets are implicit (the workload supplies the correct- and
+// wrong-path streams), so the BTB models only whether a target would have
+// been available; a miss costs a frontend redirect like a misprediction.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+}
+
+// NewBTB returns a BTB with entries slots (rounded to a power of two).
+func NewBTB(entries int) *BTB {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &BTB{
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Lookup returns the stored target and whether the branch at pc hits.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	i := pc & b.mask
+	if b.tags[i] == pc|1 {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Insert records the target for the branch at pc.
+func (b *BTB) Insert(pc, target uint64) {
+	i := pc & b.mask
+	b.tags[i] = pc | 1
+	b.targets[i] = target
+}
+
+// RAS is a return address stack with wrap-around overwrite on overflow,
+// matching the paper's 16-entry configuration.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+	size  int
+}
+
+// NewRAS returns a RAS with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("branch: non-positive RAS size")
+	}
+	return &RAS{stack: make([]uint64, n), size: n}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % r.size
+	r.stack[r.top] = addr
+	if r.depth < r.size {
+		r.depth++
+	}
+}
+
+// Pop predicts the return address at a return; ok is false when the stack
+// has underflowed (the prediction would be wrong).
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.stack[r.top]
+	r.top = (r.top - 1 + r.size) % r.size
+	r.depth--
+	return addr, true
+}

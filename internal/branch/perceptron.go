@@ -1,0 +1,91 @@
+package branch
+
+// Perceptron is a perceptron branch predictor (Jiménez & Lin, HPCA 2001):
+// each branch hashes to a weight vector dotted against the global history;
+// the sign predicts the direction and training adjusts weights when the
+// prediction was wrong or the margin was below the threshold. It rounds
+// out the predictor family alongside gshare and TAGE-lite.
+type Perceptron struct {
+	weights [][]int16
+	history []int8 // +1 taken, -1 not taken
+	theta   int32
+}
+
+// NewPerceptron returns a predictor with 2^bits perceptrons over histLen
+// history bits.
+func NewPerceptron(bits, histLen uint) *Perceptron {
+	if bits == 0 || bits > 20 || histLen == 0 || histLen > 64 {
+		panic("branch: perceptron geometry out of range")
+	}
+	p := &Perceptron{
+		weights: make([][]int16, 1<<bits),
+		history: make([]int8, histLen),
+		// The classic training threshold: 1.93*h + 14.
+		theta: int32(1.93*float64(histLen) + 14),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int16, histLen+1) // +1 for the bias weight
+	}
+	for i := range p.history {
+		p.history[i] = -1
+	}
+	return p
+}
+
+func (p *Perceptron) index(pc uint64) uint64 {
+	return (pc ^ (pc >> 9)) & uint64(len(p.weights)-1)
+}
+
+// output computes the perceptron dot product for the branch at pc.
+func (p *Perceptron) output(pc uint64) int32 {
+	w := p.weights[p.index(pc)]
+	y := int32(w[0]) // bias
+	for i, h := range p.history {
+		y += int32(w[i+1]) * int32(h)
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool { return p.output(pc) >= 0 }
+
+// Update implements Predictor.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	y := p.output(pc)
+	pred := y >= 0
+	t := int32(-1)
+	if taken {
+		t = 1
+	}
+	if pred != taken || abs32(y) <= p.theta {
+		w := p.weights[p.index(pc)]
+		w[0] = saturate16(int32(w[0]) + t)
+		for i, h := range p.history {
+			w[i+1] = saturate16(int32(w[i+1]) + t*int32(h))
+		}
+	}
+	copy(p.history, p.history[1:])
+	if taken {
+		p.history[len(p.history)-1] = 1
+	} else {
+		p.history[len(p.history)-1] = -1
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func saturate16(v int32) int16 {
+	const limit = 1<<7 - 1 // 8-bit weights, as in the original design
+	if v > limit {
+		return limit
+	}
+	if v < -limit {
+		return -limit
+	}
+	return int16(v)
+}

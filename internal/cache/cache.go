@@ -1,0 +1,165 @@
+// Package cache provides the storage structures of the simulated memory
+// hierarchy: set-associative arrays with LRU replacement and pin-aware
+// victim selection, and miss-status holding registers (MSHRs). The
+// coherence controllers (package coherence) own the protocol state machines
+// and use these structures for tags and replacement.
+package cache
+
+// State is a MESI coherence state for a cached line.
+type State uint8
+
+const (
+	// Invalid means the way holds no valid line.
+	Invalid State = iota
+	// Shared means a read-only copy.
+	Shared
+	// Exclusive means a clean, writable, sole copy.
+	Exclusive
+	// Modified means a dirty, writable, sole copy.
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+// CanRead reports whether a load may consume data in this state.
+func (s State) CanRead() bool { return s != Invalid }
+
+// CanWrite reports whether a store may update data in this state.
+func (s State) CanWrite() bool { return s == Exclusive || s == Modified }
+
+// Line is one cached line's tag-array entry.
+type Line struct {
+	// Addr is the line address (byte address >> 6). Valid only when
+	// State != Invalid.
+	Addr  uint64
+	State State
+	lru   uint64
+}
+
+// SetAssoc is a set-associative tag array with true-LRU replacement.
+type SetAssoc struct {
+	sets  []Line // sets*ways entries, way-major within a set
+	ways  int
+	stamp uint64
+}
+
+// NewSetAssoc returns a sets x ways array with all ways invalid.
+func NewSetAssoc(sets, ways int) *SetAssoc {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	return &SetAssoc{sets: make([]Line, sets*ways), ways: ways}
+}
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return len(c.sets) / c.ways }
+
+// set returns the slice of ways for a set index.
+func (c *SetAssoc) set(set int) []Line {
+	return c.sets[set*c.ways : (set+1)*c.ways]
+}
+
+// Lookup finds line addr in the given set and returns a pointer to its
+// entry, or nil on miss. It does not update LRU state; call Touch for that.
+func (c *SetAssoc) Lookup(set int, addr uint64) *Line {
+	ws := c.set(set)
+	for i := range ws {
+		if ws[i].State != Invalid && ws[i].Addr == addr {
+			return &ws[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the entry as most recently used.
+func (c *SetAssoc) Touch(e *Line) {
+	c.stamp++
+	e.lru = c.stamp
+}
+
+// Victim selects a way in the set to hold a new line. Invalid ways are
+// preferred; otherwise the least recently used way whose line is not
+// excluded by denied (which may be nil) is chosen. It returns nil if every
+// valid way is denied — the caller must retry later, which is exactly the
+// "eviction denied" behaviour Pinned Loads requires (paper Section 5.1.3).
+//
+// When the LRU victim is denied, its replacement state is refreshed as if
+// the line had been accessed, per the paper, to minimize future attempts to
+// evict it.
+func (c *SetAssoc) Victim(set int, denied func(addr uint64) bool) *Line {
+	ws := c.set(set)
+	var victim *Line
+	for {
+		victim = nil
+		for i := range ws {
+			if ws[i].State == Invalid {
+				return &ws[i]
+			}
+			if victim == nil || ws[i].lru < victim.lru {
+				victim = &ws[i]
+			}
+		}
+		if denied == nil || !denied(victim.Addr) {
+			return victim
+		}
+		// Refresh the denied line and look again among the rest.
+		c.Touch(victim)
+		if c.allDenied(ws, denied) {
+			return nil
+		}
+	}
+}
+
+func (c *SetAssoc) allDenied(ws []Line, denied func(addr uint64) bool) bool {
+	for i := range ws {
+		if ws[i].State == Invalid || !denied(ws[i].Addr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Install writes a new line into the entry returned by Victim.
+func (c *SetAssoc) Install(e *Line, addr uint64, st State) {
+	e.Addr = addr
+	e.State = st
+	c.Touch(e)
+}
+
+// Invalidate marks the entry invalid.
+func (c *SetAssoc) Invalidate(e *Line) { e.State = Invalid }
+
+// ForEach calls fn for every valid line in the array.
+func (c *SetAssoc) ForEach(fn func(e *Line)) {
+	for i := range c.sets {
+		if c.sets[i].State != Invalid {
+			fn(&c.sets[i])
+		}
+	}
+}
+
+// CountValid returns the number of valid lines in the given set.
+func (c *SetAssoc) CountValid(set int) int {
+	n := 0
+	for _, w := range c.set(set) {
+		if w.State != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pinnedloads/internal/xrand"
+)
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%v.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestStatePermissions(t *testing.T) {
+	if Invalid.CanRead() || Invalid.CanWrite() {
+		t.Error("Invalid has permissions")
+	}
+	if !Shared.CanRead() || Shared.CanWrite() {
+		t.Error("Shared permissions wrong")
+	}
+	if !Exclusive.CanRead() || !Exclusive.CanWrite() {
+		t.Error("Exclusive permissions wrong")
+	}
+	if !Modified.CanRead() || !Modified.CanWrite() {
+		t.Error("Modified permissions wrong")
+	}
+}
+
+func TestLookupMissAndHit(t *testing.T) {
+	c := NewSetAssoc(4, 2)
+	if c.Lookup(0, 100) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	v := c.Victim(0, nil)
+	c.Install(v, 100, Shared)
+	e := c.Lookup(0, 100)
+	if e == nil || e.State != Shared || e.Addr != 100 {
+		t.Fatalf("lookup after install: %+v", e)
+	}
+	if c.Lookup(1, 100) != nil {
+		t.Fatal("hit in wrong set")
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	c := NewSetAssoc(1, 2)
+	c.Install(c.Victim(0, nil), 1, Shared)
+	v := c.Victim(0, nil)
+	if v.State != Invalid {
+		t.Fatal("victim should be the remaining invalid way")
+	}
+}
+
+func TestVictimLRU(t *testing.T) {
+	c := NewSetAssoc(1, 2)
+	c.Install(c.Victim(0, nil), 1, Shared)
+	c.Install(c.Victim(0, nil), 2, Shared)
+	c.Touch(c.Lookup(0, 1)) // 2 is now least recently used
+	v := c.Victim(0, nil)
+	if v.Addr != 2 {
+		t.Fatalf("LRU victim = %d, want 2", v.Addr)
+	}
+}
+
+func TestVictimDenied(t *testing.T) {
+	c := NewSetAssoc(1, 2)
+	c.Install(c.Victim(0, nil), 1, Shared)
+	c.Install(c.Victim(0, nil), 2, Shared)
+	// Line 1 is LRU but denied; the victim must be 2.
+	v := c.Victim(0, func(addr uint64) bool { return addr == 1 })
+	if v == nil || v.Addr != 2 {
+		t.Fatalf("victim = %+v, want line 2", v)
+	}
+}
+
+func TestVictimAllDenied(t *testing.T) {
+	c := NewSetAssoc(1, 2)
+	c.Install(c.Victim(0, nil), 1, Shared)
+	c.Install(c.Victim(0, nil), 2, Shared)
+	if v := c.Victim(0, func(uint64) bool { return true }); v != nil {
+		t.Fatalf("victim = %+v, want nil when every way is denied", v)
+	}
+	// Both lines must still be present (eviction denied).
+	if c.Lookup(0, 1) == nil || c.Lookup(0, 2) == nil {
+		t.Fatal("denied eviction removed a line")
+	}
+}
+
+func TestDeniedVictimRefreshed(t *testing.T) {
+	// Denying the LRU victim must refresh its replacement state so it is
+	// not immediately re-selected (paper Section 5.1.3).
+	c := NewSetAssoc(1, 2)
+	c.Install(c.Victim(0, nil), 1, Shared)
+	c.Install(c.Victim(0, nil), 2, Shared)
+	// 1 is LRU and pinned.
+	v := c.Victim(0, func(addr uint64) bool { return addr == 1 })
+	if v.Addr != 2 {
+		t.Fatalf("victim = %d", v.Addr)
+	}
+	c.Install(v, 3, Shared)
+	// Now nothing is denied: LRU order should place 3 after 1 (refreshed).
+	v = c.Victim(0, nil)
+	if v.Addr != 1 {
+		t.Fatalf("second victim = %d, want 1 (refreshed then aged)", v.Addr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewSetAssoc(2, 2)
+	c.Install(c.Victim(1, nil), 5, Modified)
+	c.Invalidate(c.Lookup(1, 5))
+	if c.Lookup(1, 5) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+}
+
+func TestCountValidAndForEach(t *testing.T) {
+	c := NewSetAssoc(2, 4)
+	c.Install(c.Victim(0, nil), 1, Shared)
+	c.Install(c.Victim(0, nil), 2, Shared)
+	c.Install(c.Victim(1, nil), 3, Modified)
+	if c.CountValid(0) != 2 || c.CountValid(1) != 1 {
+		t.Fatalf("CountValid = %d,%d", c.CountValid(0), c.CountValid(1))
+	}
+	n := 0
+	c.ForEach(func(e *Line) { n++ })
+	if n != 3 {
+		t.Fatalf("ForEach visited %d lines", n)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := NewSetAssoc(8, 4)
+	if c.Sets() != 8 || c.Ways() != 4 {
+		t.Fatalf("geometry %dx%d", c.Sets(), c.Ways())
+	}
+}
+
+func TestNewSetAssocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSetAssoc(0,1) did not panic")
+		}
+	}()
+	NewSetAssoc(0, 1)
+}
+
+// TestVictimNeverDenied is a property test: Victim never returns a valid
+// line the denied predicate rejects.
+func TestVictimNeverDenied(t *testing.T) {
+	rng := xrand.New(99)
+	if err := quick.Check(func(seed uint32) bool {
+		c := NewSetAssoc(1, 4)
+		denied := map[uint64]bool{}
+		r := rng.Derive(uint64(seed))
+		for i := 0; i < 32; i++ {
+			addr := uint64(r.Intn(8) + 1)
+			deniedFn := func(a uint64) bool { return denied[a] }
+			v := c.Victim(0, deniedFn)
+			if v == nil {
+				// All ways denied: legal only if 4 distinct denied lines.
+				if c.CountValid(0) != 4 {
+					return false
+				}
+				denied = map[uint64]bool{}
+				continue
+			}
+			if v.State != Invalid && denied[v.Addr] {
+				return false
+			}
+			c.Install(v, addr, Shared)
+			if r.Bool(0.4) {
+				denied[addr] = true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

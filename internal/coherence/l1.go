@@ -1,0 +1,627 @@
+package coherence
+
+import (
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/cache"
+	"pinnedloads/internal/stats"
+)
+
+// CoreHooks is the interface through which the memory system reaches into
+// the core pipeline. It carries the Pinned Loads snooping behaviour: the
+// pinned-line record lives next to the load queue (paper Section 6.1.1),
+// so invalidations and evictions consult the core before acting.
+type CoreHooks interface {
+	// PinnedLine reports whether the core currently has the line pinned
+	// (a pinned load in the LQ, or a pinned in-flight MSHR fill).
+	PinnedLine(line uint64) bool
+	// OnInvalidate tells the core its L1 lost the line (invalidation or
+	// eviction). The core squashes performed, yet-to-retire loads of the
+	// line per the TSO conservative MCV rule.
+	OnInvalidate(line uint64)
+	// OnInvStar tells the core to insert the line into its Cannot-Pin
+	// Table (an Inv* arrived, paper Section 5.1.5).
+	OnInvStar(line uint64)
+	// OnClear tells the core to remove the line from its Cannot-Pin
+	// Table (the starved write succeeded).
+	OnClear(line uint64)
+	// LoadDone delivers data for the load identified by token.
+	LoadDone(token int64)
+	// LineOwned reports that an Acquire transaction obtained the line in
+	// Modified state; the core may now merge buffered stores into it.
+	LineOwned(line uint64)
+	// StoreDeferred reports that a write's invalidation was deferred by
+	// a pinned line elsewhere and the transaction will retry.
+	StoreDeferred(line uint64)
+}
+
+// LoadResult is the immediate outcome of issuing a load at the L1.
+type LoadResult uint8
+
+const (
+	// LoadHit means data will be delivered after the L1 hit latency.
+	LoadHit LoadResult = iota
+	// LoadMiss means a fill is (now) outstanding; LoadDone fires later.
+	LoadMiss
+	// LoadBlocked means no MSHR or port was available; retry next cycle.
+	LoadBlocked
+)
+
+// Retry token values for SelfRetry events.
+const (
+	retryStore int64 = iota
+	retryRequest
+	retryInstall
+)
+
+// nackBackoff is the delay before re-sending a Nacked request.
+const nackBackoff = 10
+
+// storeTxn tracks one outstanding ownership (RFO) transaction. TSO cores
+// acquire ownership for several buffered stores concurrently and merge them
+// into the cache in order; only the merge must be ordered.
+type storeTxn struct {
+	line     uint64
+	star     bool // escalate to GetX* (a previous attempt was deferred)
+	need     int  // sharer responses expected (-1 = DataX not yet seen)
+	got      int
+	deferred bool
+	inFlight bool // request sent, transaction not yet resolved
+}
+
+// pendingFill is a granted fill whose installation was denied because every
+// way in its L1 set holds a pinned line; it retries until a way frees.
+type pendingFill struct {
+	line  uint64
+	state cache.State
+	mshr  int
+}
+
+// L1 is one core's private L1 data cache controller.
+type L1 struct {
+	id    int
+	cfg   *arch.Config
+	fab   *fabric
+	count *stats.Counters
+	hooks CoreHooks
+
+	tags *cache.SetAssoc
+	mshr *cache.MSHR
+
+	acq       map[uint64]*storeTxn // outstanding ownership transactions
+	evictBuf  map[uint64]bool
+	pending   []pendingFill
+	portsUsed int
+	lastFill  uint64 // last demand-fill line, for the next-line prefetcher
+}
+
+func newL1(id int, cfg *arch.Config, fab *fabric, count *stats.Counters) *L1 {
+	return &L1{
+		id:       id,
+		cfg:      cfg,
+		fab:      fab,
+		count:    count,
+		tags:     cache.NewSetAssoc(cfg.L1Sets, cfg.L1Ways),
+		mshr:     cache.NewMSHR(cfg.L1MSHRs),
+		acq:      make(map[uint64]*storeTxn),
+		evictBuf: make(map[uint64]bool),
+	}
+}
+
+// SetHooks attaches the owning core's pipeline callbacks.
+func (l *L1) SetHooks(h CoreHooks) { l.hooks = h }
+
+func (l *L1) addr() Addr { return Addr{Idx: l.id} }
+
+func (l *L1) home(line uint64) Addr {
+	return Addr{Dir: true, Idx: l.cfg.LLCSlice(line)}
+}
+
+// newCycle resets per-cycle port accounting.
+func (l *L1) newCycle() { l.portsUsed = 0 }
+
+// AcquirePort consumes one L1 access port for this cycle, reporting whether
+// one was available.
+func (l *L1) AcquirePort() bool {
+	if l.portsUsed >= l.cfg.L1Ports {
+		return false
+	}
+	l.portsUsed++
+	return true
+}
+
+// Probe reports whether the line is present and readable, without changing
+// any state. Delay-On-Miss uses it to decide whether a speculative load may
+// proceed.
+func (l *L1) Probe(line uint64) bool {
+	e := l.tags.Lookup(l.cfg.L1Set(line), line)
+	return e != nil && e.State.CanRead()
+}
+
+// HasWritable reports whether the line is present in M or E state.
+func (l *L1) HasWritable(line uint64) bool {
+	e := l.tags.Lookup(l.cfg.L1Set(line), line)
+	return e != nil && e.State.CanWrite()
+}
+
+// MergeStore writes a buffered store into the line if it is writable,
+// upgrading Exclusive to Modified, and reports whether the merge happened.
+func (l *L1) MergeStore(line uint64) bool {
+	e := l.tags.Lookup(l.cfg.L1Set(line), line)
+	if e == nil || !e.State.CanWrite() {
+		return false
+	}
+	e.State = cache.Modified
+	l.tags.Touch(e)
+	return true
+}
+
+// Load issues a load for the line on behalf of the load identified by
+// token. On LoadHit, hooks.LoadDone(token) fires after the hit latency; on
+// LoadMiss it fires when the fill completes.
+func (l *L1) Load(token int64, line uint64) LoadResult {
+	set := l.cfg.L1Set(line)
+	if e := l.tags.Lookup(set, line); e != nil && e.State.CanRead() {
+		l.tags.Touch(e)
+		l.count.Inc("l1.hits")
+		l.fab.self(Msg{Kind: SelfDone, Line: line, Src: l.addr(), Dst: l.addr(),
+			Token: token}, l.cfg.L1HitCycles)
+		return LoadHit
+	}
+	if i := l.mshr.Lookup(line); i >= 0 {
+		l.mshr.AddWaiter(i, token)
+		l.count.Inc("l1.miss_coalesced")
+		return LoadMiss
+	}
+	if l.mshr.Free() == 0 {
+		return LoadBlocked
+	}
+	l.mshr.Alloc(line, token, false)
+	l.count.Inc("l1.misses")
+	l.fab.send(Msg{Kind: GetS, Line: line, Src: l.addr(), Dst: l.home(line)}, 0)
+	return LoadMiss
+}
+
+// LoadInvisible issues an InvisiSpec-style speculative access: the data is
+// delivered to the load without touching replacement state, allocating an
+// MSHR, installing a line, or changing directory state. An L1 hit is read
+// in place (no LRU update); otherwise the home slice serves the data
+// statelessly.
+func (l *L1) LoadInvisible(token int64, line uint64) {
+	set := l.cfg.L1Set(line)
+	if e := l.tags.Lookup(set, line); e != nil && e.State.CanRead() {
+		// Read without Touch: the access must not perturb LRU state.
+		l.count.Inc("l1.invisible_hits")
+		l.fab.self(Msg{Kind: SelfDone, Line: line, Src: l.addr(), Dst: l.addr(),
+			Token: token}, l.cfg.L1HitCycles)
+		return
+	}
+	l.count.Inc("l1.invisible_misses")
+	l.fab.send(Msg{Kind: GetSInv, Line: line, Src: l.addr(), Dst: l.home(line),
+		Token: token}, 0)
+}
+
+// PinInFlight marks an outstanding fill for the line as pinned (Early
+// Pinning may pin a load before its data arrives; the Pinned bit then
+// lives in the MSHR, paper Section 6.1.2).
+func (l *L1) PinInFlight(line uint64) {
+	if i := l.mshr.Lookup(line); i >= 0 {
+		l.mshr.SetPinned(i, true)
+	}
+}
+
+// Acquire starts (or continues) an ownership transaction for the line so
+// buffered stores can merge into it. It is idempotent: calls while the line
+// is already writable or a transaction is outstanding are no-ops.
+// hooks.LineOwned fires when ownership is obtained.
+func (l *L1) Acquire(line uint64) {
+	if l.acq[line] != nil {
+		return
+	}
+	set := l.cfg.L1Set(line)
+	if e := l.tags.Lookup(set, line); e != nil && e.State.CanWrite() {
+		return
+	}
+	st := &storeTxn{line: line}
+	l.acq[line] = st
+	l.tryAcquire(st)
+}
+
+// AcquireCount returns the number of outstanding ownership transactions.
+func (l *L1) AcquireCount() int { return len(l.acq) }
+
+// tryAcquire sends (or re-sends) the ownership request.
+func (l *L1) tryAcquire(st *storeTxn) {
+	set := l.cfg.L1Set(st.line)
+	if e := l.tags.Lookup(set, st.line); e != nil && e.State.CanWrite() {
+		l.ownComplete(st)
+		return
+	}
+	kind := GetX
+	if st.star {
+		kind = GetXStar
+	}
+	st.inFlight = true
+	st.need = -1
+	st.got = 0
+	st.deferred = false
+	l.fab.send(Msg{Kind: kind, Line: st.line, Src: l.addr(), Dst: l.home(st.line)}, 0)
+}
+
+// ownComplete finishes an ownership transaction.
+func (l *L1) ownComplete(st *storeTxn) {
+	delete(l.acq, st.line)
+	l.fab.self(Msg{Kind: SelfDone, Line: st.line, Src: l.addr(), Dst: l.addr(),
+		Token: -2}, l.cfg.L1HitCycles)
+}
+
+// Prefetch issues a next-line prefetch if the prefetcher is enabled and
+// resources allow. Prefetch fills install normally but wake no loads.
+func (l *L1) prefetchAfterFill(line uint64) {
+	if !l.cfg.Prefetch {
+		return
+	}
+	next := line + 1
+	if l.Probe(next) || l.mshr.Lookup(next) >= 0 || l.mshr.Free() < 3 {
+		return
+	}
+	l.mshr.Alloc(next, -1, false)
+	l.count.Inc("l1.prefetches")
+	l.fab.send(Msg{Kind: GetS, Line: next, Src: l.addr(), Dst: l.home(next)}, 0)
+}
+
+func (l *L1) handle(m Msg) {
+	switch m.Kind {
+	case SelfDone:
+		if m.Token == -2 {
+			l.hooks.LineOwned(m.Line)
+		} else {
+			l.hooks.LoadDone(m.Token)
+		}
+	case DataS, DataE:
+		l.handleFill(m)
+	case DataInv:
+		// Invisible data: deliver without installing anything.
+		l.hooks.LoadDone(m.Token)
+	case DataX:
+		l.handleDataX(m)
+	case InvAck:
+		l.handleInvResp(m, false)
+	case Defer:
+		l.handleInvResp(m, true)
+	case Inv, InvStar:
+		l.handleInv(m)
+	case FwdGetS:
+		l.handleFwdGetS(m)
+	case FwdGetX, FwdGetXStar:
+		l.handleFwdGetX(m)
+	case Recall:
+		l.handleRecall(m)
+	case Clear:
+		l.hooks.OnClear(m.Line)
+	case Nack:
+		l.handleNack(m)
+	case PutMAck:
+		delete(l.evictBuf, m.Line)
+	case SelfRetry:
+		l.handleRetry(m)
+	default:
+		panic("coherence: L1 received " + m.Kind.String())
+	}
+}
+
+// handleFill processes a granted read copy (from the directory or forwarded
+// by the previous owner).
+func (l *L1) handleFill(m Msg) {
+	st := cache.Shared
+	if m.Kind == DataE {
+		st = cache.Exclusive
+	}
+	i := l.mshr.Lookup(m.Line)
+	if i < 0 {
+		// The fill raced with an invalidation that dropped the request;
+		// nothing waits for it anymore.
+		return
+	}
+	l.install(m.Line, st, i)
+}
+
+// install places a granted line into the cache, retrying later if every
+// candidate victim way is pinned, then wakes the fill's waiters.
+func (l *L1) install(line uint64, st cache.State, mshrIdx int) {
+	set := l.cfg.L1Set(line)
+	if e := l.tags.Lookup(set, line); e != nil {
+		// Upgrade in place (e.g. S->M on a store grant).
+		e.State = st
+		l.tags.Touch(e)
+		l.finishFill(line, mshrIdx)
+		return
+	}
+	victim := l.tags.Victim(set, l.hooks.PinnedLine)
+	if victim == nil {
+		// Every way holds a pinned line: the eviction is denied and the
+		// install retries until an older pinned load retires.
+		l.count.Inc("l1.install_denied")
+		l.count.Inc("coh.retried_evictions_l1")
+		l.pending = append(l.pending, pendingFill{line: line, state: st, mshr: mshrIdx})
+		l.fab.self(Msg{Kind: SelfRetry, Line: line, Src: l.addr(), Dst: l.addr(),
+			Token: retryInstall}, 4)
+		return
+	}
+	if victim.State != cache.Invalid {
+		l.evict(victim)
+	}
+	l.tags.Install(victim, line, st)
+	l.finishFill(line, mshrIdx)
+}
+
+// evict removes a victim line from the L1, writing back dirty data and
+// performing the conventional TSO eviction squash check at the core.
+func (l *L1) evict(victim *cache.Line) {
+	l.count.Inc("l1.evictions")
+	if victim.State == cache.Modified || victim.State == cache.Exclusive {
+		l.evictBuf[victim.Addr] = true
+		l.fab.send(Msg{Kind: PutM, Line: victim.Addr, Src: l.addr(),
+			Dst: l.home(victim.Addr)}, 0)
+	}
+	// Shared lines are evicted silently; the directory's sharer bits stay
+	// conservative. Either way the core loses the line.
+	l.hooks.OnInvalidate(victim.Addr)
+	l.tags.Invalidate(victim)
+}
+
+func (l *L1) finishFill(line uint64, mshrIdx int) {
+	// The pinned record lives in the core's LQ, so a pinned MSHR fill
+	// (Early Pinning) needs no state copied into the tags here.
+	waiters := l.mshr.Release(mshrIdx)
+	demand := false
+	for _, w := range waiters {
+		if w >= 0 {
+			demand = true
+			l.hooks.LoadDone(w)
+		}
+	}
+	// Trigger the next-line prefetcher only after delivering the waiters:
+	// its MSHR allocation may reuse the entry just released.
+	if demand {
+		l.lastFill = line
+		l.prefetchAfterFill(line)
+	}
+}
+
+// handleDataX processes the directory's write grant for an outstanding
+// ownership transaction.
+func (l *L1) handleDataX(m Msg) {
+	st := l.acq[m.Line]
+	if st == nil {
+		// A stale grant from an aborted transaction; ignore.
+		return
+	}
+	st.need = m.Acks
+	l.maybeResolveAcquire(st)
+}
+
+// handleInvResp processes a sharer's InvAck or Defer addressed to this L1
+// as the write requestor.
+func (l *L1) handleInvResp(m Msg, deferred bool) {
+	st := l.acq[m.Line]
+	if st == nil {
+		return
+	}
+	st.got++
+	if deferred {
+		st.deferred = true
+	}
+	l.maybeResolveAcquire(st)
+}
+
+// maybeResolveAcquire completes or aborts an ownership transaction once the
+// grant and all sharer responses have arrived.
+func (l *L1) maybeResolveAcquire(st *storeTxn) {
+	if st.need < 0 || st.got < st.need {
+		return
+	}
+	if st.deferred {
+		// At least one sharer has the line pinned: abort at the
+		// directory and retry with GetX* after a backoff (Figure 5a).
+		l.count.Inc("coh.retried_writes")
+		l.fab.send(Msg{Kind: Abort, Line: st.line, Src: l.addr(),
+			Dst: l.home(st.line)}, 0)
+		st.inFlight = false
+		st.star = true
+		l.hooks.StoreDeferred(st.line)
+		l.fab.self(Msg{Kind: SelfRetry, Line: st.line, Src: l.addr(),
+			Dst: l.addr(), Token: retryStore}, l.cfg.WriteRetryBackoff)
+		return
+	}
+	if st.need > 0 {
+		l.fab.send(Msg{Kind: Unblock, Line: st.line, Src: l.addr(),
+			Dst: l.home(st.line)}, 0)
+	}
+	// Install the line in Modified state and report completion.
+	set := l.cfg.L1Set(st.line)
+	if e := l.tags.Lookup(set, st.line); e != nil {
+		e.State = cache.Modified
+		l.tags.Touch(e)
+		l.ownComplete(st)
+		return
+	}
+	victim := l.tags.Victim(set, l.hooks.PinnedLine)
+	if victim == nil {
+		// Extremely rare: every way is pinned; retry the install.
+		l.count.Inc("l1.install_denied")
+		l.pending = append(l.pending, pendingFill{line: st.line, state: cache.Modified, mshr: -1})
+		l.fab.self(Msg{Kind: SelfRetry, Line: st.line, Src: l.addr(),
+			Dst: l.addr(), Token: retryInstall}, 4)
+		// Completion is deferred until the install succeeds.
+		return
+	}
+	if victim.State != cache.Invalid {
+		l.evict(victim)
+	}
+	l.tags.Install(victim, st.line, cache.Modified)
+	l.ownComplete(st)
+}
+
+// handleInv processes an invalidation on behalf of a writer at another
+// core. If the line is pinned, the invalidation is denied with Defer and
+// the local copy is kept (paper Figure 3b).
+func (l *L1) handleInv(m Msg) {
+	if m.Kind == InvStar {
+		l.hooks.OnInvStar(m.Line)
+	}
+	if l.hooks.PinnedLine(m.Line) {
+		l.count.Inc("coh.defers")
+		l.fab.send(Msg{Kind: Defer, Line: m.Line, Src: l.addr(),
+			Dst: Addr{Idx: m.Requestor}}, 0)
+		return
+	}
+	l.dropLine(m.Line)
+	l.fab.send(Msg{Kind: InvAck, Line: m.Line, Src: l.addr(),
+		Dst: Addr{Idx: m.Requestor}}, 0)
+}
+
+// dropLine removes any local copy of the line (tags or pending install) and
+// runs the core's MCV squash check.
+func (l *L1) dropLine(line uint64) {
+	set := l.cfg.L1Set(line)
+	if e := l.tags.Lookup(set, line); e != nil {
+		l.tags.Invalidate(e)
+	}
+	for i := range l.pending {
+		if l.pending[i].line == line && l.pending[i].mshr >= 0 {
+			// The buffered fill is stale: drop it and re-request.
+			l.pending = append(l.pending[:i], l.pending[i+1:]...)
+			l.fab.send(Msg{Kind: GetS, Line: line, Src: l.addr(),
+				Dst: l.home(line)}, 0)
+			break
+		}
+	}
+	l.hooks.OnInvalidate(line)
+}
+
+func (l *L1) handleFwdGetS(m Msg) {
+	req := Addr{Idx: m.Requestor}
+	set := l.cfg.L1Set(m.Line)
+	if e := l.tags.Lookup(set, m.Line); e != nil && e.State.CanWrite() {
+		e.State = cache.Shared
+		l.fab.send(Msg{Kind: DataS, Line: m.Line, Src: l.addr(), Dst: req}, 0)
+		l.fab.send(Msg{Kind: WBShared, Line: m.Line, Src: l.addr(),
+			Dst: l.home(m.Line)}, 0)
+		return
+	}
+	if l.evictBuf[m.Line] {
+		// Serve from the evict buffer; the in-flight PutM completes the
+		// downgrade at the directory.
+		l.fab.send(Msg{Kind: DataS, Line: m.Line, Src: l.addr(), Dst: req}, 0)
+		return
+	}
+	// The line may have been granted E but already dropped; the PutM/
+	// recall path resolves the directory state. Send data regardless
+	// (the LLC copy is current for clean lines).
+	l.fab.send(Msg{Kind: DataS, Line: m.Line, Src: l.addr(), Dst: req}, 0)
+	l.fab.send(Msg{Kind: WBShared, Line: m.Line, Src: l.addr(),
+		Dst: l.home(m.Line)}, 0)
+}
+
+func (l *L1) handleFwdGetX(m Msg) {
+	if m.Kind == FwdGetXStar {
+		l.hooks.OnInvStar(m.Line)
+	}
+	req := Addr{Idx: m.Requestor}
+	if l.hooks.PinnedLine(m.Line) {
+		l.count.Inc("coh.defers")
+		l.fab.send(Msg{Kind: Defer, Line: m.Line, Src: l.addr(), Dst: req}, 0)
+		return
+	}
+	l.dropLine(m.Line)
+	l.fab.send(Msg{Kind: InvAck, Line: m.Line, Src: l.addr(), Dst: req}, 0)
+}
+
+// handleRecall processes the directory's request to drop the line so it can
+// be evicted from the LLC. Pinned lines deny the recall.
+func (l *L1) handleRecall(m Msg) {
+	if l.hooks.PinnedLine(m.Line) {
+		l.fab.send(Msg{Kind: RecallDefer, Line: m.Line, Src: l.addr(),
+			Dst: m.Src}, 0)
+		return
+	}
+	if l.evictBuf[m.Line] {
+		// Already writing the line back; the PutM acts as the response.
+		l.fab.send(Msg{Kind: RecallAck, Line: m.Line, Src: l.addr(),
+			Dst: m.Src}, 0)
+		return
+	}
+	l.dropLine(m.Line)
+	l.fab.send(Msg{Kind: RecallAck, Line: m.Line, Src: l.addr(), Dst: m.Src}, 0)
+}
+
+// handleNack retries a rejected request after a backoff.
+func (l *L1) handleNack(m Msg) {
+	orig := Kind(m.Requestor)
+	switch orig {
+	case GetS:
+		if i := l.mshr.Lookup(m.Line); i >= 0 {
+			l.fab.self(Msg{Kind: SelfRetry, Line: m.Line, Src: l.addr(),
+				Dst: l.addr(), Token: retryRequest}, nackBackoff)
+		}
+	case GetX, GetXStar:
+		if st := l.acq[m.Line]; st != nil {
+			st.inFlight = false
+			l.fab.self(Msg{Kind: SelfRetry, Line: m.Line, Src: l.addr(),
+				Dst: l.addr(), Token: retryStore}, nackBackoff)
+		}
+	}
+}
+
+func (l *L1) handleRetry(m Msg) {
+	switch m.Token {
+	case retryStore:
+		if st := l.acq[m.Line]; st != nil && !st.inFlight {
+			l.tryAcquire(st)
+		}
+	case retryRequest:
+		if i := l.mshr.Lookup(m.Line); i >= 0 {
+			if l.mshr.ForWrite(i) {
+				l.fab.send(Msg{Kind: GetX, Line: m.Line, Src: l.addr(),
+					Dst: l.home(m.Line)}, 0)
+			} else {
+				l.fab.send(Msg{Kind: GetS, Line: m.Line, Src: l.addr(),
+					Dst: l.home(m.Line)}, 0)
+			}
+		}
+	case retryInstall:
+		for i := range l.pending {
+			if l.pending[i].line == m.Line {
+				p := l.pending[i]
+				l.pending = append(l.pending[:i], l.pending[i+1:]...)
+				if p.mshr >= 0 {
+					l.install(p.line, p.state, p.mshr)
+				} else {
+					// A store install: retry through the same path.
+					l.retryStoreInstall(p)
+				}
+				return
+			}
+		}
+	}
+}
+
+func (l *L1) retryStoreInstall(p pendingFill) {
+	st := l.acq[p.line]
+	if st == nil {
+		return
+	}
+	set := l.cfg.L1Set(p.line)
+	victim := l.tags.Victim(set, l.hooks.PinnedLine)
+	if victim == nil {
+		l.pending = append(l.pending, p)
+		l.fab.self(Msg{Kind: SelfRetry, Line: p.line, Src: l.addr(),
+			Dst: l.addr(), Token: retryInstall}, 4)
+		return
+	}
+	if victim.State != cache.Invalid {
+		l.evict(victim)
+	}
+	l.tags.Install(victim, p.line, cache.Modified)
+	l.ownComplete(st)
+}

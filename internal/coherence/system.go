@@ -1,0 +1,63 @@
+package coherence
+
+import (
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/mesh"
+	"pinnedloads/internal/stats"
+)
+
+// System is the complete coherent memory hierarchy: one L1 per core, one
+// directory/LLC slice per mesh node, and the interconnect between them.
+type System struct {
+	cfg   *arch.Config
+	mesh  *mesh.Mesh
+	fab   *fabric
+	l1s   []*L1
+	dirs  []*Dir
+	count *stats.Counters
+}
+
+// NewSystem builds the memory hierarchy for the given configuration. Core
+// hooks must be attached to every L1 (SetHooks) before the first Tick.
+func NewSystem(cfg *arch.Config, count *stats.Counters) *System {
+	m := mesh.New(cfg.MeshCols, cfg.MeshRows, cfg.HopCycles)
+	fab := newFabric(m, count)
+	s := &System{cfg: cfg, mesh: m, fab: fab, count: count}
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1s = append(s.l1s, newL1(i, cfg, fab, count))
+	}
+	for i := 0; i < cfg.LLCSlices; i++ {
+		s.dirs = append(s.dirs, newDir(i, cfg, fab, count))
+	}
+	return s
+}
+
+// L1 returns core i's L1 controller.
+func (s *System) L1(i int) *L1 { return s.l1s[i] }
+
+// Prewarm installs lines into the LLC as present-but-uncached, modeling the
+// warm cache state a checkpointed simulation interval starts from.
+func (s *System) Prewarm(lines []uint64) {
+	for _, l := range lines {
+		s.dirs[s.cfg.LLCSlice(l)].InstallWarm(l)
+	}
+}
+
+// Mesh returns the interconnect model (for traffic statistics).
+func (s *System) Mesh() *mesh.Mesh { return s.mesh }
+
+// Tick advances the memory system by one cycle: it delivers every message
+// due this cycle to its controller, which may send further messages for
+// future cycles.
+func (s *System) Tick(cycle int64) {
+	for _, l := range s.l1s {
+		l.newCycle()
+	}
+	for _, m := range s.fab.due(cycle) {
+		if m.Dst.Dir {
+			s.dirs[m.Dst.Idx].handle(m)
+		} else {
+			s.l1s[m.Dst.Idx].handle(m)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/trace"
+)
+
+// runCfg executes a short run of the benchmark under the config/policy.
+func runCfg(t *testing.T, cfg arch.Config, pol defense.Policy, bench string) Result {
+	t.Helper()
+	w := trace.ByName(bench)
+	sys, err := New(cfg, pol, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1500, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestL1TagPinRecord checks the Section 6.1.2 alternative pinned-line
+// record: it must work correctly and cost some performance versus the
+// LQ-based record (extra L1 port pressure), never gain.
+func TestL1TagPinRecord(t *testing.T) {
+	pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
+	base := runCfg(t, arch.PaperConfig(1), pol, "fotonik3d_r")
+	cfg := arch.PaperConfig(1)
+	cfg.PinRecordL1Tags = true
+	tagged := runCfg(t, cfg, pol, "fotonik3d_r")
+	if tagged.Counters.Get("pin.pinned") == 0 {
+		t.Fatal("no pinning with the L1-tag record")
+	}
+	if tagged.Counters.Get("pin.l1tag_unpins") == 0 {
+		t.Fatal("no Pinned-bit clears recorded")
+	}
+	// Port pressure can only hurt (allow a tiny tolerance for timing
+	// perturbation on short runs).
+	if tagged.CPI < base.CPI*0.98 {
+		t.Fatalf("L1-tag record faster than LQ record: %.3f vs %.3f",
+			tagged.CPI, base.CPI)
+	}
+}
+
+// TestCPTReserveOption checks the Section 6.3 advanced CPT design runs
+// correctly under contention.
+func TestCPTReserveOption(t *testing.T) {
+	cfg := arch.PaperConfig(8)
+	cfg.CPTEntries = 1 // force overflows
+	cfg.CPTReserve = true
+	pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
+	res := runCfg(t, cfg, pol, "radiosity")
+	if res.CPI <= 0 {
+		t.Fatal("bad CPI")
+	}
+	if res.Counters.Get("pin.pinned") == 0 {
+		t.Fatal("no pinning with reserving CPT")
+	}
+}
+
+// TestPrefetcherAblation checks that disabling the prefetcher hurts a
+// streaming workload.
+func TestPrefetcherAblation(t *testing.T) {
+	pol := defense.Policy{Scheme: defense.Unsafe}
+	on := runCfg(t, arch.PaperConfig(1), pol, "cactuBSSN_r")
+	cfg := arch.PaperConfig(1)
+	cfg.Prefetch = false
+	off := runCfg(t, cfg, pol, "cactuBSSN_r")
+	if off.CPI <= on.CPI {
+		t.Fatalf("prefetcher did not help a streaming app: on %.3f, off %.3f",
+			on.CPI, off.CPI)
+	}
+}
+
+// TestWdOneStillCorrect checks EP with the minimum directory reservation.
+func TestWdOneStillCorrect(t *testing.T) {
+	cfg := arch.PaperConfig(8)
+	cfg.Wd = 1
+	pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
+	res := runCfg(t, cfg, pol, "fft")
+	if res.Counters.Get("pin.pinned") == 0 {
+		t.Fatal("no pinning with Wd=1")
+	}
+}
+
+// TestSmallCachesStillCorrect stresses eviction-denial paths with a tiny
+// hierarchy under every pinned variant.
+func TestSmallCachesStillCorrect(t *testing.T) {
+	for _, v := range []defense.Variant{defense.LP, defense.EP} {
+		cfg := arch.PaperConfig(8)
+		cfg.L1Sets = 8
+		cfg.L1Ways = 2
+		cfg.LLCSets = 32
+		cfg.L1CSTEntries = 4
+		cfg.L1CSTRecords = 2
+		pol := defense.Policy{Scheme: defense.DOM, Variant: v}
+		res := runCfg(t, cfg, pol, "ocean_cp")
+		if res.CPI <= 0 {
+			t.Fatalf("%v: bad CPI", v)
+		}
+	}
+}
+
+// TestRealPredictor runs the live-TAGE frontend mode: it must work
+// correctly and produce a plausible misprediction rate on the learnable
+// branch-site streams the generators emit.
+func TestRealPredictor(t *testing.T) {
+	cfg := arch.PaperConfig(1)
+	cfg.RealPredictor = true
+	res := runCfg(t, cfg, defense.Policy{Scheme: defense.Unsafe}, "leela_r")
+	squashes := res.Counters.Get("squash.branch")
+	if squashes == 0 {
+		t.Fatal("live predictor never mispredicted")
+	}
+	retired := res.Counters.Get("retired")
+	// leela is ~18% branches; a trained TAGE on the site mix should miss
+	// on the order of the profile's 7% of branches — sanity-bound it.
+	rate := float64(squashes) / (float64(retired) * 0.18)
+	if rate > 0.30 {
+		t.Fatalf("implausible live mispredict rate %.3f", rate)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/trace"
+	"pinnedloads/internal/xrand"
+)
+
+// TestEPWdInvariant checks the Early Pinning space guarantee on every cycle
+// of a contended run: a core never has more than Wd pinned lines in one
+// directory/LLC (slice, set) nor more than the L1 associativity in one L1
+// set (paper Section 5.1.4).
+func TestEPWdInvariant(t *testing.T) {
+	cfg := arch.PaperConfig(8)
+	// Shrink the LLC so set pressure is real.
+	cfg.LLCSets = 16
+	w := trace.ByName("ocean_cp")
+	sys, err := New(cfg, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		sys.cycle++
+		sys.mem.Tick(sys.cycle)
+		for _, c := range sys.cores {
+			c.Tick(sys.cycle)
+			if got := c.MaxPinnedPerDirSet(); got > cfg.Wd {
+				t.Fatalf("cycle %d: %d pinned lines in one dir set (Wd=%d)",
+					i, got, cfg.Wd)
+			}
+			if got := c.MaxPinnedPerL1Set(); got > cfg.L1Ways {
+				t.Fatalf("cycle %d: %d pinned lines in one L1 set (%d ways)",
+					i, got, cfg.L1Ways)
+			}
+		}
+	}
+	pinned := sys.count.Get("pin.pinned")
+	if pinned == 0 {
+		t.Fatal("invariant test ran without any pinning")
+	}
+}
+
+// TestPinnedBoundedByLQ checks that the number of simultaneously pinned
+// lines never exceeds the load-queue size (a pinned load occupies an LQ
+// entry by construction).
+func TestPinnedBoundedByLQ(t *testing.T) {
+	cfg := arch.PaperConfig(1)
+	w := trace.ByName("bwaves_r")
+	sys, err := New(cfg, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30000; i++ {
+		sys.cycle++
+		sys.mem.Tick(sys.cycle)
+		sys.cores[0].Tick(sys.cycle)
+		if got := sys.cores[0].PinnedLineCount(); got > cfg.LQEntries {
+			t.Fatalf("cycle %d: %d pinned lines exceed the %d-entry LQ",
+				i, got, cfg.LQEntries)
+		}
+	}
+}
+
+// TestRandomScriptsProgress is a property test: random well-formed script
+// workloads must always make forward progress under every policy, and the
+// retirement-continuity assertions inside the pipeline must hold.
+func TestRandomScriptsProgress(t *testing.T) {
+	policies := []defense.Policy{
+		{Scheme: defense.Unsafe},
+		{Scheme: defense.Fence, Variant: defense.Comp},
+		{Scheme: defense.Fence, Variant: defense.LP},
+		{Scheme: defense.Fence, Variant: defense.EP},
+		{Scheme: defense.DOM, Variant: defense.EP},
+		{Scheme: defense.STT, Variant: defense.LP},
+		{Scheme: defense.STT, Variant: defense.Spectre},
+	}
+	for trial := 0; trial < 6; trial++ {
+		w := randomScript(trial)
+		for _, pol := range policies {
+			sys, err := New(arch.PaperConfig(2), pol, w, uint64(trial+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8000; i++ {
+				sys.cycle++
+				sys.mem.Tick(sys.cycle)
+				for _, c := range sys.cores {
+					c.Tick(sys.cycle)
+				}
+			}
+			if sys.cores[0].Retired() == 0 || sys.cores[1].Retired() == 0 {
+				t.Fatalf("trial %d %s: no progress (%d/%d retired)",
+					trial, pol, sys.cores[0].Retired(), sys.cores[1].Retired())
+			}
+		}
+	}
+}
+
+// randomScript builds a deterministic pseudo-random 2-core workload mixing
+// every op kind, with occasional contended lines.
+func randomScript(seed int) *trace.Script {
+	rng := xrand.New(uint64(seed)*2654435761 + 17)
+	gen := func(core int) []isa.Inst {
+		var out []isa.Inst
+		for i := 0; i < 64; i++ {
+			r := rng.Float64()
+			var in isa.Inst
+			switch {
+			case r < 0.25:
+				in = isa.Inst{Op: isa.Load, Addr: randomAddr(rng, core)}
+				if rng.Bool(0.3) {
+					in.Deps[0] = int32(1 + rng.Intn(4))
+				}
+			case r < 0.38:
+				in = isa.Inst{Op: isa.Store, Addr: randomAddr(rng, core),
+					Deps: [2]int32{int32(1 + rng.Intn(4)), int32(1 + rng.Intn(4))}}
+			case r < 0.5:
+				in = isa.Inst{Op: isa.Branch, Taken: rng.Bool(0.5),
+					Mispredict: rng.Bool(0.1), Deps: [2]int32{int32(1 + rng.Intn(4))}}
+			case r < 0.53:
+				in = isa.Inst{Op: isa.Fence}
+			case r < 0.55:
+				in = isa.Inst{Op: isa.Lock, Addr: 0x900000}
+			default:
+				in = isa.Inst{Op: isa.ALU, Lat: uint8(1 + rng.Intn(4)),
+					Deps: [2]int32{int32(1 + rng.Intn(6))}}
+			}
+			out = append(out, in)
+		}
+		return out
+	}
+	return &trace.Script{
+		ScriptName: "random",
+		NumCores:   2,
+		Insts:      [][]isa.Inst{gen(0), gen(1)},
+		Loop:       true,
+	}
+}
+
+// randomAddr mixes private and contended lines.
+func randomAddr(rng *xrand.RNG, core int) uint64 {
+	if rng.Bool(0.2) {
+		return 0x800000 + rng.Uint64n(8)*64 // shared, contended
+	}
+	return uint64(core+1)<<24 + rng.Uint64n(256)*64
+}

@@ -1,0 +1,157 @@
+// Package core assembles the full simulated machine — out-of-order cores
+// (package pipeline), the coherent memory hierarchy (package coherence),
+// and a workload (package trace) — and runs it cycle by cycle under a
+// defense policy. It is the engine behind the public pinnedloads API.
+package core
+
+import (
+	"fmt"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/coherence"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/pipeline"
+	"pinnedloads/internal/stats"
+	"pinnedloads/internal/trace"
+)
+
+// System is one configured simulation: cores, memory hierarchy, workload
+// generators and a defense policy.
+type System struct {
+	cfg    arch.Config
+	policy defense.Policy
+	mem    *coherence.System
+	cores  []*pipeline.Core
+	count  stats.Counters
+	cycle  int64
+}
+
+// progressWindow bounds how long the simulator tolerates zero retirement
+// before declaring a deadlock (a correctness backstop, not a mechanism).
+const progressWindow = 200_000
+
+// New builds a system running the workload under the policy. The workload's
+// natural core count is used unless cfg.Cores overrides it upward.
+func New(cfg arch.Config, policy defense.Policy, w trace.Source, seed uint64) (*System, error) {
+	if cfg.Cores < w.Cores() {
+		cfg.Cores = w.Cores()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, policy: policy}
+	s.mem = coherence.NewSystem(&s.cfg, &s.count)
+	bar := pipeline.NewBarrierSync(cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		gen := w.Generator(i, seed)
+		s.cores = append(s.cores, pipeline.NewCore(i, &s.cfg, policy, s.mem.L1(i), gen, bar, &s.count))
+	}
+	// Pre-warm the LLC with the workload's resident working set, modeling
+	// the warm cache state of a checkpointed simulation interval.
+	if warmer, ok := w.(interface{ WarmLines(core int) []uint64 }); ok {
+		for i := 0; i < cfg.Cores; i++ {
+			s.mem.Prewarm(warmer.WarmLines(i))
+		}
+	}
+	return s, nil
+}
+
+// Result summarizes one run's measured interval.
+type Result struct {
+	// Cycles is the measured interval length; Insts the per-core
+	// instruction target; CPI the per-core cycles per instruction.
+	Cycles int64
+	Insts  int64
+	CPI    float64
+	// Counters holds every event counter accumulated during the whole
+	// run (including warmup).
+	Counters *stats.Counters
+}
+
+// Run executes warmup instructions per core unmeasured, then measures the
+// cycles needed for every core to retire measure further instructions.
+func (s *System) Run(warmup, measure int64) (Result, error) {
+	if measure <= 0 {
+		return Result{}, fmt.Errorf("core: measure count must be positive, got %d", measure)
+	}
+	start, err := s.runUntil(warmup)
+	if err != nil {
+		return Result{}, err
+	}
+	end, err := s.runUntil(warmup + measure)
+	if err != nil {
+		return Result{}, err
+	}
+	cycles := end - start
+	return Result{
+		Cycles:   cycles,
+		Insts:    measure,
+		CPI:      float64(cycles) / float64(measure),
+		Counters: &s.count,
+	}, nil
+}
+
+// runUntil advances the system until every core has retired target
+// instructions (or halted), returning the cycle the last core got there.
+func (s *System) runUntil(target int64) (int64, error) {
+	if target <= 0 {
+		return s.cycle, nil
+	}
+	for _, c := range s.cores {
+		c.SetTarget(target)
+	}
+	lastProgress := s.cycle
+	lastRetired := s.totalRetired()
+	for {
+		done := true
+		for _, c := range s.cores {
+			if c.DoneCycle() < 0 && !c.Halted() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		s.cycle++
+		s.mem.Tick(s.cycle)
+		for _, c := range s.cores {
+			c.Tick(s.cycle)
+		}
+		if r := s.totalRetired(); r > lastRetired {
+			lastRetired = r
+			lastProgress = s.cycle
+		} else if s.cycle-lastProgress > progressWindow {
+			return 0, fmt.Errorf("core: no retirement progress for %d cycles at cycle %d (policy %s)",
+				progressWindow, s.cycle, s.policy)
+		}
+	}
+	// The interval ends when the slowest core reached the target.
+	end := s.cycle
+	for _, c := range s.cores {
+		if d := c.DoneCycle(); d > end {
+			end = d
+		}
+	}
+	return end, nil
+}
+
+func (s *System) totalRetired() int64 {
+	var n int64
+	for _, c := range s.cores {
+		n += c.Retired()
+	}
+	return n
+}
+
+// Counters exposes the accumulated event counters.
+func (s *System) Counters() *stats.Counters { return &s.count }
+
+// Core returns core i (for tests and detailed inspection).
+func (s *System) Core(i int) *pipeline.Core { return s.cores[i] }
+
+// Mem returns the memory system (for traffic statistics).
+func (s *System) Mem() *coherence.System { return s.mem }
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() int64 { return s.cycle }

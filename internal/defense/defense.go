@@ -1,0 +1,160 @@
+// Package defense defines the speculative-execution defense schemes and
+// threat models the simulator evaluates, mirroring the paper's Tables 2
+// and 3. A Policy combines a hardware defense scheme (how pre-VP loads are
+// protected) with a configuration variant (which threat model defines the
+// VP, and whether Pinned Loads extends the scheme with Late or Early
+// Pinning). The pipeline consults the Policy to decide when each load may
+// issue and when it reaches its Visibility Point.
+package defense
+
+import "fmt"
+
+// Scheme is a hardware defense scheme (paper Table 2).
+type Scheme uint8
+
+const (
+	// Unsafe is the unprotected baseline: loads issue as soon as their
+	// addresses are ready.
+	Unsafe Scheme = iota
+	// Fence stalls every speculative load until it reaches its VP, as if
+	// a fence preceded it.
+	Fence
+	// DOM (Delay-On-Miss) lets pre-VP loads execute only if they hit in
+	// the L1; misses wait for the VP.
+	DOM
+	// STT (Speculative Taint Tracking) stalls only loads whose address
+	// operands are tainted by transiently accessed data; untainted loads
+	// issue freely.
+	STT
+	// IS (invisible speculation, InvisiSpec-style) lets pre-VP loads
+	// execute without changing any cache state, at the cost of a second
+	// "exposure" access once the load reaches its VP. It represents the
+	// third protection category the paper lists (invisible execution);
+	// Pinned Loads helps it by letting loads reach the VP before issuing
+	// at all, so the double access disappears.
+	IS
+)
+
+var schemeNames = [...]string{Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT", IS: "IS"}
+
+// String returns the scheme name as used in the paper.
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// Schemes lists the protected schemes evaluated in the paper's figures.
+func Schemes() []Scheme { return []Scheme{Fence, DOM, STT} }
+
+// AllSchemes additionally includes the InvisiSpec-style scheme, which the
+// paper discusses as a protectable category but does not evaluate.
+func AllSchemes() []Scheme { return []Scheme{Fence, DOM, STT, IS} }
+
+// Variant is a configuration extension of a defense scheme (paper Table 3).
+type Variant uint8
+
+const (
+	// Comp is the unmodified scheme under the Comprehensive threat model.
+	Comp Variant = iota
+	// LP is Comp extended with Pinned Loads using Late Pinning.
+	LP
+	// EP is Comp extended with Pinned Loads using Early Pinning.
+	EP
+	// Spectre is the unmodified scheme under the Spectre threat model
+	// (only control-flow squashes are considered).
+	Spectre
+)
+
+var variantNames = [...]string{Comp: "COMP", LP: "LP", EP: "EP", Spectre: "SPECTRE"}
+
+// String returns the variant name as used in the paper's figures.
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// Variants lists the configurations in the paper's figure order.
+func Variants() []Variant { return []Variant{Comp, LP, EP, Spectre} }
+
+// Cond is a bitmask of squash sources a load must be safe from before it
+// reaches its Visibility Point (the four conditions of paper Section 1).
+type Cond uint8
+
+const (
+	// CondCtrl: all older branches are resolved.
+	CondCtrl Cond = 1 << iota
+	// CondAlias: no unresolved older load or store the load could alias
+	// with (all older memory addresses are resolved).
+	CondAlias
+	// CondException: neither the load nor any older instruction can
+	// raise an exception (the load's own address has translated).
+	CondException
+	// CondMCV: neither the load nor an older load can suffer a memory
+	// consistency violation.
+	CondMCV
+)
+
+// CondsComprehensive is the full Comprehensive-model condition set.
+const CondsComprehensive = CondCtrl | CondAlias | CondException | CondMCV
+
+// CondsSpectre is the Spectre-model condition set.
+const CondsSpectre = CondCtrl
+
+// Has reports whether the mask includes c.
+func (m Cond) Has(c Cond) bool { return m&c != 0 }
+
+// String lists the conditions in the mask.
+func (m Cond) String() string {
+	s := ""
+	add := func(c Cond, name string) {
+		if m.Has(c) {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(CondCtrl, "ctrl")
+	add(CondAlias, "alias")
+	add(CondException, "exception")
+	add(CondMCV, "mcv")
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Policy is the complete protection configuration of one simulation run.
+type Policy struct {
+	Scheme  Scheme
+	Variant Variant
+	// Conds overrides the VP condition mask when non-zero; the Figure 1
+	// study uses it to apply the conditions cumulatively.
+	Conds Cond
+}
+
+// VPConds returns the effective VP condition mask.
+func (p Policy) VPConds() Cond {
+	if p.Conds != 0 {
+		return p.Conds
+	}
+	if p.Variant == Spectre {
+		return CondsSpectre
+	}
+	return CondsComprehensive
+}
+
+// Pinning reports whether the policy uses Pinned Loads (LP or EP).
+func (p Policy) Pinning() bool { return p.Variant == LP || p.Variant == EP }
+
+// String renders the policy like the paper's figure labels.
+func (p Policy) String() string {
+	if p.Conds != 0 {
+		return fmt.Sprintf("%s[%s]", p.Scheme, p.Conds)
+	}
+	return fmt.Sprintf("%s-%s", p.Scheme, p.Variant)
+}

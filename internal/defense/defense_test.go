@@ -1,0 +1,85 @@
+package defense
+
+import "testing"
+
+func TestSchemeStrings(t *testing.T) {
+	cases := map[Scheme]string{Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	cases := map[Variant]string{Comp: "COMP", LP: "LP", EP: "EP", Spectre: "SPECTRE"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+}
+
+func TestSchemesAndVariantsOrder(t *testing.T) {
+	s := Schemes()
+	if len(s) != 3 || s[0] != Fence || s[1] != DOM || s[2] != STT {
+		t.Fatalf("Schemes() = %v", s)
+	}
+	v := Variants()
+	if len(v) != 4 || v[0] != Comp || v[3] != Spectre {
+		t.Fatalf("Variants() = %v", v)
+	}
+}
+
+func TestCondHas(t *testing.T) {
+	m := CondCtrl | CondMCV
+	if !m.Has(CondCtrl) || !m.Has(CondMCV) || m.Has(CondAlias) || m.Has(CondException) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestCondString(t *testing.T) {
+	if got := (CondCtrl | CondAlias).String(); got != "ctrl+alias" {
+		t.Fatalf("String = %q", got)
+	}
+	if Cond(0).String() != "none" {
+		t.Fatal("empty mask string")
+	}
+	if CondsComprehensive.String() != "ctrl+alias+exception+mcv" {
+		t.Fatalf("comprehensive = %q", CondsComprehensive.String())
+	}
+}
+
+func TestVPConds(t *testing.T) {
+	if (Policy{Scheme: Fence, Variant: Comp}).VPConds() != CondsComprehensive {
+		t.Fatal("Comp conds wrong")
+	}
+	if (Policy{Scheme: Fence, Variant: Spectre}).VPConds() != CondsSpectre {
+		t.Fatal("Spectre conds wrong")
+	}
+	if (Policy{Scheme: Fence, Variant: LP}).VPConds() != CondsComprehensive {
+		t.Fatal("LP conds wrong")
+	}
+	override := Policy{Scheme: Fence, Conds: CondCtrl | CondAlias}
+	if override.VPConds() != CondCtrl|CondAlias {
+		t.Fatal("Conds override ignored")
+	}
+}
+
+func TestPinning(t *testing.T) {
+	if (Policy{Variant: Comp}).Pinning() || (Policy{Variant: Spectre}).Pinning() {
+		t.Fatal("non-pinning variants report pinning")
+	}
+	if !(Policy{Variant: LP}).Pinning() || !(Policy{Variant: EP}).Pinning() {
+		t.Fatal("pinning variants not detected")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if got := (Policy{Scheme: DOM, Variant: EP}).String(); got != "DOM-EP" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Policy{Scheme: Fence, Conds: CondCtrl}).String(); got != "Fence[ctrl]" {
+		t.Fatalf("String = %q", got)
+	}
+}

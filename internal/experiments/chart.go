@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pinnedloads/internal/defense"
+)
+
+// barWidth is the maximum bar length in characters.
+const barWidth = 48
+
+// bar renders a single horizontal bar scaled against max.
+func bar(value, max float64) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(value / max * barWidth)
+	if n < 0 {
+		n = 0
+	}
+	if n > barWidth {
+		n = barWidth
+	}
+	return strings.Repeat("█", n)
+}
+
+// Chart renders the normalized-CPI figure as per-scheme bar charts, the
+// closest terminal rendering of the paper's Figures 7/8.
+func (f *CPIFigure) Chart() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — bars are normalized CPI (1.0 = Unsafe)\n", f.Title)
+	for _, sch := range f.Schemes {
+		fmt.Fprintf(&b, "\n[%s]\n", sch)
+		// Scale each scheme's chart to its own maximum.
+		max := 1.0
+		for _, v := range defense.Variants() {
+			for _, bench := range f.Benches {
+				if n := f.Norm[sch][v][bench]; n > max {
+					max = n
+				}
+			}
+		}
+		for _, bench := range f.Benches {
+			fmt.Fprintf(&b, "%-16s\n", bench)
+			for _, v := range defense.Variants() {
+				n := f.Norm[sch][v][bench]
+				fmt.Fprintf(&b, "  %-8s %6.3f %s\n", v, n, bar(n, max))
+			}
+		}
+		fmt.Fprintf(&b, "%-16s\n", "Geo.Mean")
+		for _, v := range defense.Variants() {
+			n := f.GeoMean[sch][v]
+			fmt.Fprintf(&b, "  %-8s %6.3f %s\n", v, n, bar(n, max))
+		}
+	}
+	return b.String()
+}
+
+// Chart renders the Figure 1 stacked-overhead study as segmented bars, with
+// one character class per VP condition segment.
+func (f *Figure1) Chart() string {
+	segments := []struct {
+		name string
+		fill string
+	}{
+		{"Ctrl", "█"}, {"Alias", "▓"}, {"Exception", "▒"}, {"MCV", "░"},
+	}
+	max := 0.0
+	for _, s := range f.Suites {
+		if o := f.Overhead[s][3]; o > max {
+			max = o
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1 — stacked execution overhead by VP-delay condition\n")
+	for _, s := range f.Suites {
+		o := f.Overhead[s]
+		fmt.Fprintf(&b, "%-8s %6.1f%% ", s, o[3])
+		prev := 0.0
+		for i, seg := range segments {
+			inc := o[i] - prev
+			prev = o[i]
+			n := int(inc / max * barWidth)
+			b.WriteString(strings.Repeat(seg.fill, n))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: ")
+	for i, seg := range segments {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s %s", seg.fill, seg.name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Chart renders Figure 9 as grouped bars: the Comp stack total next to the
+// LP and EP bars for each scheme and suite group.
+func (f *Figure9) Chart() string {
+	max := 0.0
+	for _, r := range f.Rows {
+		if r.Stack[3] > max {
+			max = r.Stack[3]
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 9 — Comprehensive overhead vs LP and EP\n")
+	rows := append([]Figure9Row(nil), f.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Group < rows[j].Group })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-9s COMP %6.1f%% %s\n", r.Scheme, r.Group,
+			r.Stack[3], bar(r.Stack[3], max))
+		fmt.Fprintf(&b, "%-6s %-9s LP   %6.1f%% %s\n", "", "", r.LP, bar(r.LP, max))
+		fmt.Fprintf(&b, "%-6s %-9s EP   %6.1f%% %s\n", "", "", r.EP, bar(r.EP, max))
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pinnedloads/internal/defense"
+)
+
+// WriteCSV saves an experiment's data as a CSV file under dir, returning
+// the written path. It dispatches on the experiment type; unsupported
+// types return an error.
+func WriteCSV(dir string, name string, result any) (string, error) {
+	var rows [][]string
+	switch f := result.(type) {
+	case *Figure1:
+		rows = append(rows, []string{"suite", "ctrl", "alias", "exception", "mcv_total"})
+		for _, s := range f.Suites {
+			o := f.Overhead[s]
+			rows = append(rows, []string{s,
+				fmt.Sprintf("%.3f", o[0]), fmt.Sprintf("%.3f", o[1]),
+				fmt.Sprintf("%.3f", o[2]), fmt.Sprintf("%.3f", o[3])})
+		}
+	case *CPIFigure:
+		rows = append(rows, []string{"benchmark", "scheme", "variant", "normalized_cpi"})
+		for _, sch := range f.Schemes {
+			for _, v := range defense.Variants() {
+				for _, b := range f.Benches {
+					rows = append(rows, []string{b, sch.String(), v.String(),
+						fmt.Sprintf("%.4f", f.Norm[sch][v][b])})
+				}
+				rows = append(rows, []string{"GEOMEAN", sch.String(), v.String(),
+					fmt.Sprintf("%.4f", f.GeoMean[sch][v])})
+			}
+		}
+	case *Figure9:
+		rows = append(rows, []string{"scheme", "group", "ctrl", "alias", "exception", "mcv_total", "lp", "ep"})
+		for _, r := range f.Rows {
+			rows = append(rows, []string{r.Scheme.String(), r.Group,
+				fmt.Sprintf("%.2f", r.Stack[0]), fmt.Sprintf("%.2f", r.Stack[1]),
+				fmt.Sprintf("%.2f", r.Stack[2]), fmt.Sprintf("%.2f", r.Stack[3]),
+				fmt.Sprintf("%.2f", r.LP), fmt.Sprintf("%.2f", r.EP)})
+		}
+	case *Traffic:
+		rows = append(rows, []string{"scheme", "variant", "max_retried_writes_per_minst",
+			"mean_retried_writes_per_minst", "max_retried_evictions_per_minst", "worst_app"})
+		for _, r := range f.Rows {
+			rows = append(rows, []string{r.Scheme.String(), r.Variant.String(),
+				fmt.Sprintf("%.3f", r.MaxWrites), fmt.Sprintf("%.3f", r.MeanWrites),
+				fmt.Sprintf("%.4f", r.MaxEvictions), r.MaxBench})
+		}
+	case *WdStudy:
+		rows = append(rows, []string{"scheme", "group", "wd2_overhead_pct", "wd1_overhead_pct"})
+		for _, r := range f.Rows {
+			rows = append(rows, []string{r.Scheme.String(), r.Group,
+				fmt.Sprintf("%.2f", r.Wd2Percent), fmt.Sprintf("%.2f", r.Wd1Percent)})
+		}
+	default:
+		return "", fmt.Errorf("experiments: no CSV writer for %T", result)
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	w := csv.NewWriter(file)
+	if err := w.WriteAll(rows); err != nil {
+		return "", err
+	}
+	w.Flush()
+	return path, w.Error()
+}

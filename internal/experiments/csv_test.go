@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/defense"
+)
+
+func TestWriteCSVFigure1(t *testing.T) {
+	dir := t.TempDir()
+	f := &Figure1{
+		Suites:   []string{"SPEC17"},
+		Overhead: map[string][4]float64{"SPEC17": {10, 20, 21, 50}},
+	}
+	path, err := WriteCSV(dir, "fig1", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "SPEC17,10.000,20.000,21.000,50.000") {
+		t.Fatalf("csv contents:\n%s", data)
+	}
+}
+
+func TestWriteCSVWdStudy(t *testing.T) {
+	dir := t.TempDir()
+	f := &WdStudy{Rows: []WdRow{{Scheme: defense.Fence, Group: "SPEC17",
+		Wd2Percent: 51.3, Wd1Percent: 54.7}}}
+	path, err := WriteCSV(dir, "wd", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "Fence,SPEC17,51.30,54.70") {
+		t.Fatalf("csv contents:\n%s", data)
+	}
+	if filepath.Base(path) != "wd.csv" {
+		t.Fatalf("path = %s", path)
+	}
+}
+
+func TestWriteCSVUnsupported(t *testing.T) {
+	if _, err := WriteCSV(t.TempDir(), "x", 42); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+}
+
+func TestWriteCSVTraffic(t *testing.T) {
+	f := &Traffic{Rows: []TrafficRow{{Scheme: defense.DOM, Variant: defense.EP,
+		MaxWrites: 3.5, MeanWrites: 1.2, MaxEvictions: 0.01, MaxBench: "fft"}}}
+	path, err := WriteCSV(t.TempDir(), "traffic", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "DOM,EP,3.500") {
+		t.Fatalf("csv contents:\n%s", data)
+	}
+}

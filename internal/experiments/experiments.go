@@ -1,0 +1,185 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 9): the VP-condition breakdown (Figure 1), the load
+// overlap microbenchmark (Figure 2), the per-benchmark normalized CPI
+// sweeps (Figures 7 and 8), the overhead breakdown with LP/EP (Figure 9),
+// the network traffic analysis (Section 9.1.3), and the hardware structure
+// studies (Sections 9.2.1-9.2.4). Each experiment returns a renderable
+// result; cmd/plbench and the bench_test.go harness drive them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/core"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/stats"
+	"pinnedloads/internal/trace"
+)
+
+// Params controls simulation length; the defaults trade precision for
+// wall-clock time on a laptop-class machine.
+type Params struct {
+	Warmup  int64
+	Measure int64
+	Seed    uint64
+}
+
+// DefaultParams returns the standard experiment sizing.
+func DefaultParams() Params { return Params{Warmup: 15_000, Measure: 60_000, Seed: 1} }
+
+// QuickParams returns a fast sizing for tests and smoke runs.
+func QuickParams() Params { return Params{Warmup: 2_000, Measure: 8_000, Seed: 1} }
+
+// runKey identifies a memoized simulation.
+type runKey struct {
+	bench   string
+	scheme  defense.Scheme
+	variant defense.Variant
+	conds   defense.Cond
+	cfgTag  string
+}
+
+// Runner executes simulations with memoization so experiments can share
+// baselines (every figure normalizes against the same Unsafe runs).
+type Runner struct {
+	P     Params
+	cache map[runKey]*runOut
+	// Progress, when non-nil, receives a line per completed simulation.
+	Progress func(string)
+}
+
+// hwStats is the small per-core hardware-structure summary extracted from
+// a finished simulation (keeping whole systems alive would hold the full
+// LLC arrays of hundreds of runs in memory).
+type hwStats struct {
+	l1FP, dirFP  float64
+	hasCST       bool
+	cptMean      float64
+	cptMax       int
+	cptSamples   uint64
+	cptInserts   uint64
+	cptOverflows uint64
+	hasCPT       bool
+}
+
+type runOut struct {
+	cpi   float64
+	count *stats.Counters
+	hw    []hwStats
+}
+
+// NewRunner returns a Runner with the given parameters.
+func NewRunner(p Params) *Runner {
+	return &Runner{P: p, cache: make(map[runKey]*runOut)}
+}
+
+// run executes (or recalls) one simulation of bench under the policy.
+func (r *Runner) run(bench *trace.Profile, pol defense.Policy, cfg *arch.Config, cfgTag string) *runOut {
+	// A full-Comprehensive condition override is semantically the plain
+	// Comp variant; normalizing lets the Figure 1/9 mask sweeps reuse the
+	// Figure 7/8 runs.
+	if pol.Conds == defense.CondsComprehensive && pol.Variant == defense.Comp {
+		pol.Conds = 0
+	}
+	key := runKey{bench.BenchName, pol.Scheme, pol.Variant, pol.Conds, cfgTag}
+	if out, ok := r.cache[key]; ok {
+		return out
+	}
+	c := arch.PaperConfig(bench.Cores())
+	if cfg != nil {
+		c = *cfg
+	}
+	sys, err := core.New(c, pol, bench, r.P.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s %s: %v", bench.BenchName, pol, err))
+	}
+	res, err := sys.Run(r.P.Warmup, r.P.Measure)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s %s: %v", bench.BenchName, pol, err))
+	}
+	// Deep-copy the counters: res.Counters points into the System, and
+	// retaining it would keep every finished run's caches alive.
+	cnt := &stats.Counters{}
+	cnt.Merge(res.Counters)
+	out := &runOut{cpi: res.CPI, count: cnt}
+	for i := 0; i < c.Cores; i++ {
+		var hs hwStats
+		if l1, dir := sys.Core(i).CSTs(); l1 != nil {
+			hs.hasCST = true
+			hs.l1FP = l1.FalsePositiveRate()
+			hs.dirFP = dir.FalsePositiveRate()
+		}
+		if cpt := sys.Core(i).CPT(); cpt != nil {
+			hs.hasCPT = true
+			hs.cptMean = cpt.Occupancy().Mean()
+			hs.cptMax = cpt.Occupancy().Max()
+			hs.cptSamples = cpt.Occupancy().Samples()
+			hs.cptInserts = cpt.Inserts()
+			hs.cptOverflows = cpt.Overflows()
+		}
+		out.hw = append(out.hw, hs)
+	}
+	r.cache[key] = out
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("%-16s %-14s CPI=%.3f", bench.BenchName, pol, res.CPI))
+	}
+	return out
+}
+
+// unsafeCPI returns the Unsafe-baseline CPI for the benchmark.
+func (r *Runner) unsafeCPI(bench *trace.Profile) float64 {
+	return r.run(bench, defense.Policy{Scheme: defense.Unsafe}, nil, "").cpi
+}
+
+// normalized returns the benchmark's CPI under the policy, normalized to
+// the Unsafe baseline.
+func (r *Runner) normalized(bench *trace.Profile, pol defense.Policy) float64 {
+	return r.run(bench, pol, nil, "").cpi / r.unsafeCPI(bench)
+}
+
+// table is a simple fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// suiteBenches returns the benchmarks of a suite sorted by name.
+func suiteBenches(suite string) []*trace.Profile {
+	benches := trace.Suites()[suite]
+	sort.Slice(benches, func(i, j int) bool { return benches[i].BenchName < benches[j].BenchName })
+	return benches
+}

@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", ALU: "alu", FALU: "falu", Branch: "branch",
+		Load: "load", Store: "store", Fence: "fence", Lock: "lock",
+		Barrier: "barrier", Halt: "halt",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("unknown op String missing fallback")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for _, op := range []Op{Load, Store, Lock} {
+		if !op.IsMem() {
+			t.Errorf("%v.IsMem() = false", op)
+		}
+	}
+	for _, op := range []Op{Nop, ALU, FALU, Branch, Fence, Barrier, Halt} {
+		if op.IsMem() {
+			t.Errorf("%v.IsMem() = true", op)
+		}
+	}
+}
+
+func TestProducers(t *testing.T) {
+	in := Inst{Op: ALU, Deps: [2]int32{1, 3}}
+	got := in.Producers(10, nil)
+	if len(got) != 2 || got[0] != 9 || got[1] != 7 {
+		t.Fatalf("Producers = %v", got)
+	}
+}
+
+func TestProducersClipsStart(t *testing.T) {
+	in := Inst{Op: ALU, Deps: [2]int32{1, 5}}
+	got := in.Producers(2, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Producers = %v, want [1]", got)
+	}
+}
+
+func TestProducersIgnoresZero(t *testing.T) {
+	in := Inst{Op: ALU}
+	if got := in.Producers(10, nil); len(got) != 0 {
+		t.Fatalf("Producers = %v, want empty", got)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	ld := Inst{Op: Load, Addr: 0x1000}
+	if !strings.Contains(ld.String(), "0x1000") {
+		t.Errorf("load String = %q", ld.String())
+	}
+	br := Inst{Op: Branch, Taken: true, Mispredict: true}
+	if !strings.Contains(br.String(), "mispredict=true") {
+		t.Errorf("branch String = %q", br.String())
+	}
+	alu := Inst{Op: ALU, Lat: 3}
+	if !strings.Contains(alu.String(), "lat=3") {
+		t.Errorf("alu String = %q", alu.String())
+	}
+}

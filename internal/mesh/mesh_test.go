@@ -1,0 +1,81 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHops(t *testing.T) {
+	m := New(4, 2, 1)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1}, // directly below
+		{0, 7, 4}, // opposite corner
+		{3, 4, 4}, // XY distance
+		{1, 6, 2}, // one column + one row
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := New(4, 2, 1)
+	if err := quick.Check(func(a, b uint8) bool {
+		x, y := int(a)%8, int(b)%8
+		return m.Hops(x, y) == m.Hops(y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	m := New(4, 2, 1)
+	if err := quick.Check(func(a, b, c uint8) bool {
+		x, y, z := int(a)%8, int(b)%8, int(c)%8
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAndTraffic(t *testing.T) {
+	m := New(4, 2, 1)
+	lat := m.Latency(0, 3, ControlFlits)
+	if lat != 4 { // 1 router + 3 hops
+		t.Fatalf("Latency(0,3) = %d, want 4", lat)
+	}
+	m.Latency(0, 0, DataFlits)
+	if m.Messages() != 2 {
+		t.Fatalf("Messages = %d", m.Messages())
+	}
+	if m.Flits() != uint64(ControlFlits+DataFlits) {
+		t.Fatalf("Flits = %d", m.Flits())
+	}
+}
+
+func TestLocalLatencyNonZero(t *testing.T) {
+	m := New(4, 2, 1)
+	if m.Latency(2, 2, ControlFlits) < 1 {
+		t.Fatal("local delivery must cost at least one cycle")
+	}
+}
+
+func TestNodes(t *testing.T) {
+	if New(4, 2, 1).Nodes() != 8 {
+		t.Fatal("Nodes != 8")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,1,1) did not panic")
+		}
+	}()
+	New(0, 1, 1)
+}

@@ -1,0 +1,51 @@
+package pin
+
+import (
+	"fmt"
+
+	"pinnedloads/internal/arch"
+)
+
+// HardwareCost summarizes the storage added by Pinned Loads, reproducing
+// the paper's Section 9.2.4 / Table 1 accounting.
+type HardwareCost struct {
+	// L1CSTBytes is the per-core L1 Cache Shadow Table size (444 B with
+	// the paper's 12 entries x 8 records).
+	L1CSTBytes int
+	// DirCSTBytes is the per-core directory/LLC CST size (370 B with the
+	// paper's 40 entries x 2 records).
+	DirCSTBytes int
+	// CPTBytes is the Cannot-Pin Table size (line addresses only).
+	CPTBytes int
+	// LQTagBytes is the storage for the extended LQ ID tags and Pinned
+	// bits across the load queue.
+	LQTagBytes int
+}
+
+// Cost computes the Pinned Loads storage for a configuration.
+func Cost(cfg *arch.Config) HardwareCost {
+	// A CPT entry holds a line address (paper: 4 entries, "negligible").
+	const lineAddrBits = 58 // 64-bit address minus the 6 line-offset bits
+	// Each LQ entry gains a Pinned bit plus the extension of its LQ ID
+	// tag beyond the bits needed to index the physical LQ.
+	physBits := 0
+	for n := cfg.LQEntries - 1; n > 0; n >>= 1 {
+		physBits++
+	}
+	extra := cfg.LQIDTagBits - physBits
+	if extra < 0 {
+		extra = 0
+	}
+	return HardwareCost{
+		L1CSTBytes:  cfg.L1CSTEntries * cfg.L1CSTRecords * recordBits / 8,
+		DirCSTBytes: cfg.DirCSTEntries * cfg.DirCSTRecords * recordBits / 8,
+		CPTBytes:    (cfg.CPTEntries*lineAddrBits + 7) / 8,
+		LQTagBytes:  (cfg.LQEntries*(1+extra) + 7) / 8,
+	}
+}
+
+// String renders the cost like the paper's Table 1 rows.
+func (h HardwareCost) String() string {
+	return fmt.Sprintf("L1 CST: %d B; Dir/LLC CST: %d B; CPT: %d B; LQ tags: %d B",
+		h.L1CSTBytes, h.DirCSTBytes, h.CPTBytes, h.LQTagBytes)
+}

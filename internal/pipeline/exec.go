@@ -1,0 +1,216 @@
+package pipeline
+
+import "pinnedloads/internal/isa"
+
+// deref resolves a ref to its live entry, or nil if the generation was
+// squashed (or the slot refetched by a different instruction).
+func (c *Core) deref(r ref) *entry {
+	if !c.valid(r.seq) {
+		return nil
+	}
+	e := c.at(r.seq)
+	if e.gen != r.gen {
+		return nil
+	}
+	return e
+}
+
+// Functional-unit issue capacities per cycle (within the total width).
+const (
+	intUnits = 4
+	fpUnits  = 2
+	agUnits  = 3 // address-generation units (matches the L1 port count)
+)
+
+// execute starts up to IssueWidth ready instructions, bounded by the
+// functional-unit capacities.
+func (c *Core) execute() {
+	issued, intUsed, fpUsed, agUsed := 0, 0, 0, 0
+	q := c.readyQ
+	c.readyQ = c.readyQ[:0]
+	for i, r := range q {
+		if issued >= c.cfg.IssueWidth {
+			c.readyQ = append(c.readyQ, q[i:]...)
+			break
+		}
+		e := c.deref(r)
+		if e == nil || e.state != stReady {
+			continue
+		}
+		switch e.inst.Op {
+		case isa.FALU:
+			if fpUsed >= fpUnits {
+				c.readyQ = append(c.readyQ, r)
+				continue
+			}
+			fpUsed++
+		case isa.Load, isa.Store:
+			if agUsed >= agUnits {
+				c.readyQ = append(c.readyQ, r)
+				continue
+			}
+			agUsed++
+		default:
+			if intUsed >= intUnits {
+				c.readyQ = append(c.readyQ, r)
+				continue
+			}
+			intUsed++
+		}
+		issued++
+		e.state = stExec
+		lat := int64(e.inst.Lat)
+		if lat < 1 {
+			lat = 1
+		}
+		switch e.inst.Op {
+		case isa.Branch:
+			lat = 1
+		case isa.Load, isa.Store:
+			// Address generation plus LSQ scheduling. Under the safe
+			// schemes this overlaps the wait for the Visibility Point;
+			// on the unsafe baseline it is part of the load-to-use path.
+			lat = 2
+		}
+		c.schedule(r, lat)
+	}
+}
+
+// schedule enqueues a completion event lat cycles from now.
+func (c *Core) schedule(r ref, lat int64) {
+	if lat < 1 || lat >= int64(len(c.calendar)) {
+		c.fail("bad completion latency %d", lat)
+	}
+	slot := (c.now + lat) % int64(len(c.calendar))
+	c.calendar[slot] = append(c.calendar[slot], r)
+}
+
+// complete processes this cycle's completion events: execution results,
+// branch resolution, and load address generation.
+func (c *Core) complete() {
+	slot := c.now % int64(len(c.calendar))
+	events := c.calendar[slot]
+	c.calendar[slot] = c.calendar[slot][:0]
+	for _, r := range events {
+		e := c.deref(r)
+		if e == nil || e.state != stExec {
+			continue
+		}
+		switch e.inst.Op {
+		case isa.Load:
+			// Address generation complete; the load now waits for the
+			// policy to let it access memory (issueLoads).
+			e.addrReady = true
+			e.state = stAddrDone
+		case isa.Store:
+			e.addrReady = true
+			c.finish(e)
+			c.aliasCheck(e)
+		case isa.Branch:
+			e.resolved = true
+			winIdx := e.winIdx
+			mispredict := e.willMispredict
+			if c.predictor != nil && !e.wrong {
+				c.predictor.Update(e.inst.PC, e.inst.Taken)
+			}
+			c.finish(e)
+			if mispredict {
+				// Squash the wrong path (if any was dispatched) and
+				// redirect the frontend to the fall-through stream.
+				// The redirect must happen even when resolution beat
+				// the first wrong-path dispatch.
+				c.squashFrom(e.seq+1, "branch")
+				c.wrongMode = false
+				c.fetchPtr = winIdx + 1
+				c.stallUntil = c.now + int64(c.cfg.FetchRedirectCycles)
+			}
+		default:
+			c.finish(e)
+		}
+	}
+}
+
+// finish marks an entry done and wakes its consumers.
+func (c *Core) finish(e *entry) {
+	e.state = stDone
+	for _, w := range e.wake {
+		we := c.deref(w)
+		if we == nil {
+			continue
+		}
+		we.depsLeft--
+		if we.depsLeft == 0 && we.state == stWaiting {
+			we.state = stReady
+			c.readyQ = append(c.readyQ, w)
+		}
+	}
+	e.wake = e.wake[:0]
+}
+
+// loadPerformed records that a load has its data: it becomes visible to
+// the TSO squash machinery and wakes its consumers.
+func (c *Core) loadPerformed(e *entry) {
+	if e.performed {
+		return
+	}
+	e.performed = true
+	c.lqPerformed = append(c.lqPerformed, e.seq)
+	c.count.Inc("loads.performed")
+	c.finish(e)
+}
+
+// aliasCheck runs when a store's address resolves: younger loads that
+// already performed against the same address were mis-speculated under
+// memory-dependence speculation and must be squashed (they read stale
+// data). This is the squash source the VP's Alias condition guards.
+func (c *Core) aliasCheck(st *entry) {
+	victim := int64(-1)
+	for _, seq := range c.lqPerformed {
+		if seq <= st.seq || !c.valid(seq) {
+			continue
+		}
+		e := c.at(seq)
+		// Any load that performed before this store's address resolved
+		// cannot have observed the store's value.
+		if e.inst.Addr == st.inst.Addr && (victim < 0 || seq < victim) {
+			victim = seq
+		}
+	}
+	if victim >= 0 {
+		c.squashFrom(victim, "alias")
+	}
+}
+
+// tryForward satisfies a load from an older in-flight store (store queue or
+// write buffer) with the same address, bypassing the memory system. It
+// reports whether forwarding succeeded.
+func (c *Core) tryForward(e *entry) bool {
+	// Search older unretired stores, youngest first.
+	for s := e.seq - 1; s >= c.head; s-- {
+		se := c.at(s)
+		if !se.isStore() {
+			continue
+		}
+		if !se.addrReady {
+			// Unknown older store address: conventional cores speculate
+			// past it (the alias check recovers if it conflicts).
+			continue
+		}
+		if se.inst.Addr == e.inst.Addr {
+			e.forwarded = true
+			c.count.Inc("loads.forwarded")
+			c.loadPerformed(e)
+			return true
+		}
+	}
+	// Search the write buffer (TSO lets a core read its own buffer).
+	for _, a := range c.wb {
+		if a == e.inst.Addr {
+			e.forwarded = true
+			c.count.Inc("loads.forwarded_wb")
+			c.loadPerformed(e)
+			return true
+		}
+	}
+	return false
+}

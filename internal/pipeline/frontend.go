@@ -1,0 +1,243 @@
+package pipeline
+
+import (
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/isa"
+)
+
+// windowAt returns the correct-path instruction with the given stream
+// index, generating forward as needed.
+func (c *Core) windowAt(idx int64) isa.Inst {
+	for int64(len(c.window))+c.windowBase <= idx {
+		c.window = append(c.window, c.gen.Next())
+	}
+	return c.window[idx-c.windowBase]
+}
+
+// pruneWindow drops retired correct-path instructions from the window.
+func (c *Core) pruneWindow(retiredIdx int64) {
+	drop := retiredIdx - c.windowBase
+	if drop <= 0 {
+		return
+	}
+	// Amortize the copy: only compact once a chunk has accumulated.
+	if drop < 64 && int64(len(c.window)) > drop {
+		return
+	}
+	if drop > int64(len(c.window)) {
+		drop = int64(len(c.window))
+	}
+	c.window = append(c.window[:0], c.window[drop:]...)
+	c.windowBase += drop
+}
+
+// dispatch moves up to IssueWidth instructions into the ROB.
+func (c *Core) dispatch() {
+	if c.now < c.stallUntil || c.halted {
+		return
+	}
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.tail-c.head >= int64(len(c.entries)) {
+			c.count.Inc("stall.rob_full")
+			return
+		}
+		var in isa.Inst
+		winIdx := int64(-1)
+		if c.wrongMode {
+			in = c.gen.WrongPath()
+		} else {
+			in = c.windowAt(c.fetchPtr)
+			if in.Op == isa.Halt {
+				c.halted = true
+				return
+			}
+			winIdx = c.fetchPtr
+		}
+		switch in.Op {
+		case isa.Load, isa.Lock:
+			if c.loadsInROB >= c.cfg.LQEntries {
+				c.count.Inc("stall.lq_full")
+				return
+			}
+		case isa.Store:
+			if c.storesInROB >= c.cfg.SQEntries {
+				c.count.Inc("stall.sq_full")
+				return
+			}
+		}
+		c.insert(in, winIdx)
+		if !c.wrongMode {
+			c.fetchPtr++
+		}
+		if in.Op == isa.Branch && !c.wrongMode && c.at(c.tail-1).willMispredict {
+			// The frontend follows the wrong path until this branch
+			// resolves and redirects.
+			c.wrongMode = true
+		}
+		if in.Op == isa.Branch && in.Taken {
+			// A taken branch ends the fetch group: the frontend cannot
+			// fetch past a redirection within one cycle.
+			return
+		}
+	}
+}
+
+// insert allocates and initializes a ROB entry for in.
+func (c *Core) insert(in isa.Inst, winIdx int64) {
+	seq := c.tail
+	c.tail++
+	c.genNext++
+	e := c.at(seq)
+	*e = entry{
+		inst:   in,
+		seq:    seq,
+		gen:    c.genNext,
+		winIdx: winIdx,
+		wrong:  winIdx < 0,
+		yroot:  -1,
+		wake:   e.wake[:0], // reuse the slice backing across generations
+	}
+	c.count.Inc("dispatched")
+
+	switch in.Op {
+	case isa.Branch:
+		if c.predictor != nil {
+			// Live prediction replaces the workload annotation.
+			e.willMispredict = c.predictor.Predict(in.PC) != in.Taken && !e.wrong
+		} else {
+			e.willMispredict = in.Mispredict && !e.wrong
+		}
+	case isa.Load:
+		c.loadsInROB++
+		c.loadSeqs = append(c.loadSeqs, seq)
+		e.line = arch.LineAddr(in.Addr)
+	case isa.Lock:
+		c.loadsInROB++
+		c.fences = append(c.fences, seq)
+		e.line = arch.LineAddr(in.Addr)
+	case isa.Store:
+		c.storesInROB++
+		c.storeSeqs = append(c.storeSeqs, seq)
+		e.line = arch.LineAddr(in.Addr)
+	case isa.Fence, isa.Barrier:
+		c.fences = append(c.fences, seq)
+	}
+
+	// Resolve data dependences and compute the STT taint root (the
+	// youngest load ancestor; see vp.go).
+	for _, d := range in.Deps {
+		if d <= 0 {
+			continue
+		}
+		p := seq - int64(d)
+		if p < c.head || p >= seq {
+			continue // producer retired (or out of reach): value ready
+		}
+		pe := c.at(p)
+		if pe.yroot > e.yroot {
+			e.yroot = pe.yroot
+		}
+		if pe.isLoad() && pe.seq > e.yroot {
+			e.yroot = pe.seq
+		}
+		if pe.state != stDone {
+			pe.wake = append(pe.wake, ref{seq: seq, gen: e.gen})
+			e.depsLeft++
+		}
+	}
+
+	switch in.Op {
+	case isa.Nop, isa.Fence, isa.Barrier:
+		// No execution needed; retirement logic provides semantics.
+		e.state = stDone
+	case isa.Lock:
+		// The RMW is performed at the head of the ROB (see retire).
+		e.state = stDone
+		e.addrReady = true
+	default:
+		if e.depsLeft == 0 {
+			e.state = stReady
+			c.readyQ = append(c.readyQ, ref{seq: seq, gen: e.gen})
+		}
+	}
+}
+
+// squashFrom removes entries [from, tail) from the ROB, redirects the
+// frontend to refetch, and applies the redirect penalty.
+func (c *Core) squashFrom(from int64, cause string) {
+	if from >= c.tail {
+		return
+	}
+	if from < c.head {
+		c.fail("squash before head (%d < %d)", from, c.head)
+	}
+	c.count.Inc("squash." + cause)
+	c.count.Add("squashed_insts", uint64(c.tail-from))
+
+	refetch := int64(-1) // correct-path stream index to resume from
+	for s := from; s < c.tail; s++ {
+		e := c.at(s)
+		if e.pinned {
+			c.fail("squashing pinned load seq=%d cause=%s", s, cause)
+		}
+		switch e.inst.Op {
+		case isa.Load, isa.Lock:
+			c.loadsInROB--
+		case isa.Store:
+			c.storesInROB--
+		}
+		if e.performed {
+			c.removePerformed(s)
+		}
+		if e.token != 0 {
+			delete(c.tokenSeq, e.token)
+		}
+		if !e.wrong && refetch < 0 {
+			refetch = e.winIdx
+		}
+		e.state = stWaiting // neutralize stale calendar/ready references
+		e.token = 0
+	}
+	// Trim bookkeeping lists of squashed seqs.
+	c.fences = filterSeqs(c.fences, from)
+	c.loadSeqs = filterSeqs(c.loadSeqs, from)
+	c.storeSeqs = filterSeqs(c.storeSeqs, from)
+	c.tail = from
+	if c.vpFrontier > from {
+		c.vpFrontier = from
+	}
+	if c.pinVPFrontier > from {
+		c.pinVPFrontier = from
+	}
+	if c.pinFrontier > from {
+		c.pinFrontier = from
+	}
+
+	// Redirect the frontend.
+	c.wrongMode = false
+	if refetch >= 0 {
+		c.fetchPtr = refetch
+	}
+	c.stallUntil = c.now + int64(c.cfg.FetchRedirectCycles)
+}
+
+// filterSeqs removes seqs >= from (squashed) from a bookkeeping list.
+func filterSeqs(s []int64, from int64) []int64 {
+	out := s[:0]
+	for _, v := range s {
+		if v < from {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// removePerformed deletes seq from the performed-load list.
+func (c *Core) removePerformed(seq int64) {
+	for i, v := range c.lqPerformed {
+		if v == seq {
+			c.lqPerformed = append(c.lqPerformed[:i], c.lqPerformed[i+1:]...)
+			return
+		}
+	}
+}

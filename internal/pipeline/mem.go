@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/coherence"
+	"pinnedloads/internal/defense"
+)
+
+// issueLoads sends eligible loads to the memory system, applying the active
+// defense scheme's gating rule.
+func (c *Core) issueLoads() {
+	for _, seq := range c.loadSeqs {
+		if !c.valid(seq) {
+			continue
+		}
+		e := c.at(seq)
+		if e.state != stAddrDone {
+			continue
+		}
+		mode := c.mayIssueLoad(e)
+		if mode == issueDenied {
+			continue
+		}
+		if c.tryForward(e) {
+			continue
+		}
+		if !c.l1.AcquirePort() {
+			c.count.Inc("stall.l1_ports")
+			return
+		}
+		token := c.newToken(seq)
+		if mode == issueInvisible {
+			// InvisiSpec-style stateless access: data arrives without
+			// any cache or directory footprint; an exposure access
+			// follows once the load reaches its VP.
+			e.invisible = true
+			e.state = stIssued
+			c.count.Inc("loads.issued_invisible")
+			c.l1.LoadInvisible(token, e.line)
+			continue
+		}
+		switch c.l1.Load(token, e.line) {
+		case coherence.LoadBlocked:
+			delete(c.tokenSeq, token)
+			e.token = 0
+			c.count.Inc("stall.mshr_full")
+		default:
+			e.state = stIssued
+			c.count.Inc("loads.issued")
+			if e.pinned && !e.performed {
+				// Early Pinning pinned the load before issue; carry the
+				// Pinned bit into the MSHR (paper Section 6.1.2).
+				c.l1.PinInFlight(e.line)
+			}
+		}
+	}
+}
+
+// newToken allocates a unique memory-access token for seq.
+func (c *Core) newToken(seq int64) int64 {
+	c.nextToken++
+	t := c.nextToken
+	c.tokenSeq[t] = seq
+	c.at(seq).token = t
+	return t
+}
+
+// issueMode is the outcome of the defense scheme's issue gate.
+type issueMode uint8
+
+const (
+	issueDenied issueMode = iota
+	issueNormal
+	issueInvisible
+)
+
+// mayIssueLoad applies the defense scheme's issue gate (paper Table 2).
+func (c *Core) mayIssueLoad(e *entry) issueMode {
+	if e.inst.Fault {
+		// Address translation faulted; the access never issues and the
+		// exception is taken at the head of the ROB.
+		return issueDenied
+	}
+	if c.policy.Scheme == defense.Unsafe {
+		return issueNormal
+	}
+	if c.reachedVP(e) {
+		return issueNormal
+	}
+	if e.pinned {
+		// An Early-Pinned load is past its VP by construction; an LP
+		// load pinned on data arrival is already performed.
+		return issueNormal
+	}
+	if e.seq == c.pinPendingSeq {
+		// Late Pinning: the next-in-order pin candidate may issue; it
+		// will be pinned when its data arrives (paper Section 5.2.1).
+		return issueNormal
+	}
+	switch c.policy.Scheme {
+	case defense.Fence:
+		c.count.Inc("stall.fence")
+		return issueDenied
+	case defense.DOM:
+		if c.l1.Probe(e.line) {
+			c.count.Inc("loads.dom_hit")
+			return issueNormal
+		}
+		c.count.Inc("stall.dom_miss")
+		return issueDenied
+	case defense.STT:
+		if !c.tainted(e) {
+			c.count.Inc("loads.stt_untainted")
+			return issueNormal
+		}
+		c.count.Inc("stall.stt_tainted")
+		return issueDenied
+	case defense.IS:
+		// Invisible speculation: pre-VP loads may always access memory,
+		// but statelessly (paper Section 1's InvisiSpec example).
+		return issueInvisible
+	}
+	return issueDenied
+}
+
+// exposeLoads issues the post-VP exposure access of invisibly performed
+// loads: the second access that makes the line architecturally visible and
+// installs it in the cache. A load cannot retire before it is exposed.
+func (c *Core) exposeLoads() {
+	if c.policy.Scheme != defense.IS {
+		return
+	}
+	for _, seq := range c.loadSeqs {
+		if !c.valid(seq) {
+			continue
+		}
+		e := c.at(seq)
+		if !e.invisible || e.exposeDone || !e.performed || e.token != 0 {
+			continue
+		}
+		if !c.reachedVP(e) {
+			continue
+		}
+		if !c.l1.AcquirePort() {
+			return
+		}
+		token := c.newToken(seq)
+		c.count.Inc("loads.exposed")
+		if c.l1.Load(token, e.line) == coherence.LoadBlocked {
+			delete(c.tokenSeq, token)
+			e.token = 0
+		}
+	}
+}
+
+// rfoLookahead bounds how many write-buffer entries beyond the head may
+// have ownership prefetches outstanding.
+const rfoLookahead = 6
+
+// drainWriteBuffer merges buffered stores into the cache in FIFO order
+// (TSO store->store), overlapping the ownership (RFO) transactions of the
+// entries behind the head — the standard store-buffer implementation.
+func (c *Core) drainWriteBuffer() {
+	merged := 0
+	for len(c.wb) > 0 && merged < 2 {
+		line := arch.LineAddr(c.wb[0])
+		if !c.l1.HasWritable(line) {
+			c.l1.Acquire(line)
+			break
+		}
+		if !c.l1.AcquirePort() {
+			return
+		}
+		c.l1.MergeStore(line)
+		c.wb = c.wb[1:]
+		merged++
+		c.count.Inc("stores.merged")
+	}
+	for i := 0; i < len(c.wb) && i < rfoLookahead; i++ {
+		c.l1.Acquire(arch.LineAddr(c.wb[i]))
+	}
+}
+
+// --- coherence.CoreHooks implementation ---
+
+// PinnedLine reports whether the core has the line pinned; the coherence
+// layer consults it before invalidating or evicting (paper Section 6.1.1).
+func (c *Core) PinnedLine(line uint64) bool { return c.pinnedRef[line] > 0 }
+
+// OnInvalidate is the conventional TSO LQ snoop: when the L1 loses a line,
+// performed yet-to-retire loads of that line are conservatively squashed as
+// potential memory-consistency violations — except the oldest load under
+// the aggressive TSO implementation, which cannot have been reordered.
+func (c *Core) OnInvalidate(line uint64) {
+	victim := int64(-1)
+	for _, seq := range c.lqPerformed {
+		if !c.valid(seq) {
+			continue
+		}
+		e := c.at(seq)
+		if e.line != line || e.forwarded || e.pinned {
+			continue
+		}
+		if c.cfg.AggressiveTSO && seq == c.oldestLoadSeq {
+			continue
+		}
+		if victim < 0 || seq < victim {
+			victim = seq
+		}
+	}
+	if victim >= 0 {
+		c.squashFrom(victim, "mcv")
+	}
+}
+
+// OnInvStar records the line in the Cannot-Pin Table (an Inv* from a
+// starving writer arrived, paper Section 5.1.5).
+func (c *Core) OnInvStar(line uint64) {
+	if c.cpt == nil {
+		return
+	}
+	if !c.cpt.Insert(line) {
+		c.count.Inc("cpt.overflow")
+	}
+}
+
+// OnClear removes the line from the Cannot-Pin Table.
+func (c *Core) OnClear(line uint64) {
+	if c.cpt != nil {
+		c.cpt.Remove(line)
+	}
+}
+
+// LoadDone delivers data for an outstanding load access.
+func (c *Core) LoadDone(token int64) {
+	seq, ok := c.tokenSeq[token]
+	if !ok {
+		return // the load was squashed while its fill was in flight
+	}
+	delete(c.tokenSeq, token)
+	if !c.valid(seq) {
+		return
+	}
+	e := c.at(seq)
+	if e.token != token {
+		return
+	}
+	e.token = 0
+	if e.state == stIssued {
+		c.loadPerformed(e)
+		if e.invisible && c.reachedVP(e) {
+			// The load reached its VP (e.g. it was pinned) while the
+			// invisible access was in flight: the returning data is
+			// current and the load is unsquashable, so the access
+			// converts to a normal one and no exposure is needed —
+			// this is exactly how Pinned Loads removes the double
+			// access from invisible-execution schemes.
+			e.exposeDone = true
+			c.count.Inc("loads.expose_skipped")
+		}
+		return
+	}
+	if e.invisible && e.performed {
+		// The exposure access completed; the load may now retire.
+		e.exposeDone = true
+	}
+}
+
+// LineOwned reports that an ownership transaction completed; the write
+// buffer polls HasWritable each cycle, so this only feeds statistics.
+func (c *Core) LineOwned(uint64) { c.count.Inc("stores.owned") }
+
+// StoreDeferred records that the store's invalidation was deferred by a
+// pinned line elsewhere; the L1 retries automatically.
+func (c *Core) StoreDeferred(uint64) { c.count.Inc("stores.deferred") }

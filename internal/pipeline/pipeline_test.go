@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/coherence"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/stats"
+	"pinnedloads/internal/trace"
+)
+
+func TestBarrierSync(t *testing.T) {
+	b := NewBarrierSync(3)
+	if b.arrive(0, 1) {
+		t.Fatal("barrier released with one arrival")
+	}
+	if b.arrive(1, 1) {
+		t.Fatal("barrier released with two arrivals")
+	}
+	if !b.arrive(2, 1) {
+		t.Fatal("barrier not released with all arrivals")
+	}
+	// Level-triggered: re-querying stays true for the same index.
+	if !b.arrive(0, 1) {
+		t.Fatal("barrier went unready")
+	}
+	// The next barrier index needs a fresh round.
+	if b.arrive(0, 2) {
+		t.Fatal("second barrier released early")
+	}
+}
+
+func TestFilterSeqs(t *testing.T) {
+	s := []int64{1, 5, 3, 9, 2}
+	got := filterSeqs(s, 4)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("filterSeqs = %v", got)
+	}
+}
+
+func TestRemoveSeq(t *testing.T) {
+	s := []int64{4, 7, 9}
+	got := removeSeq(s, 7)
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("removeSeq = %v", got)
+	}
+	if got := removeSeq(got, 100); len(got) != 2 {
+		t.Fatal("removing absent seq changed the list")
+	}
+}
+
+// buildCore assembles a single core with a real memory system for direct
+// pipeline unit tests.
+func buildCore(t *testing.T, pol defense.Policy, insts []isa.Inst) (*Core, *coherence.System, *stats.Counters) {
+	t.Helper()
+	cfg := arch.PaperConfig(1)
+	count := &stats.Counters{}
+	mem := coherence.NewSystem(&cfg, count)
+	w := &trace.Script{ScriptName: "unit", Insts: [][]isa.Inst{insts}, Loop: true}
+	c := NewCore(0, &cfg, pol, mem.L1(0), w.Generator(0, 1), NewBarrierSync(1), count)
+	return c, mem, count
+}
+
+func step(c *Core, mem *coherence.System, cycles int) {
+	for i := 1; i <= cycles; i++ {
+		mem.Tick(int64(i) + c.now)
+		c.Tick(int64(i) + c.now)
+	}
+}
+
+func TestCoreBasicRetirement(t *testing.T) {
+	c, mem, _ := buildCore(t, defense.Policy{Scheme: defense.Unsafe},
+		[]isa.Inst{{Op: isa.ALU, Lat: 1}})
+	for i := 1; i <= 50; i++ {
+		mem.Tick(int64(i))
+		c.Tick(int64(i))
+	}
+	if c.Retired() == 0 {
+		t.Fatal("no retirement")
+	}
+}
+
+func TestVPFrontierMonotonicWithinRun(t *testing.T) {
+	c, mem, _ := buildCore(t, defense.Policy{Scheme: defense.Fence, Variant: defense.Comp},
+		[]isa.Inst{
+			{Op: isa.Load, Addr: 0x4000},
+			{Op: isa.ALU, Lat: 1},
+			{Op: isa.Branch, Taken: false},
+		})
+	prev := int64(0)
+	for i := 1; i <= 400; i++ {
+		mem.Tick(int64(i))
+		c.Tick(int64(i))
+		// The frontier may be reset by squashes but never below head.
+		if c.vpFrontier < c.head {
+			t.Fatalf("cycle %d: frontier %d below head %d", i, c.vpFrontier, c.head)
+		}
+		if c.head < prev {
+			t.Fatalf("head moved backwards")
+		}
+		prev = c.head
+	}
+}
+
+func TestPinnedNeverSquashedInvariant(t *testing.T) {
+	// squashFrom fails loudly if it ever removes a pinned load; run a
+	// mispredict-heavy pinned workload to exercise it.
+	c, mem, count := buildCore(t, defense.Policy{Scheme: defense.Fence, Variant: defense.EP},
+		[]isa.Inst{
+			{Op: isa.Load, Addr: 0x4000},
+			{Op: isa.Branch, Mispredict: true, Taken: true, Deps: [2]int32{1}},
+			{Op: isa.Load, Addr: 0x8000},
+			{Op: isa.ALU, Lat: 2},
+		})
+	for i := 1; i <= 3000; i++ {
+		mem.Tick(int64(i))
+		c.Tick(int64(i))
+	}
+	if count.Get("pin.pinned") == 0 {
+		t.Fatal("no pinning happened")
+	}
+	if count.Get("squash.branch") == 0 {
+		t.Fatal("no squashes happened")
+	}
+}
+
+func TestHardwareAccessors(t *testing.T) {
+	c, _, _ := buildCore(t, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil)
+	l1, dir := c.CSTs()
+	if l1 == nil || dir == nil {
+		t.Fatal("EP core missing CSTs")
+	}
+	if c.CPT() == nil {
+		t.Fatal("EP core missing CPT")
+	}
+	c2, _, _ := buildCore(t, defense.Policy{Scheme: defense.Fence, Variant: defense.Comp}, nil)
+	if c2.CPT() != nil {
+		t.Fatal("Comp core has a CPT")
+	}
+	if c.PinnedLineCount() != 0 || c.MaxPinnedPerDirSet() != 0 || c.MaxPinnedPerL1Set() != 0 {
+		t.Fatal("fresh core reports pinned lines")
+	}
+}
+
+func TestInfiniteCSTMode(t *testing.T) {
+	cfg := arch.PaperConfig(1)
+	cfg.InfiniteCST = true
+	count := &stats.Counters{}
+	mem := coherence.NewSystem(&cfg, count)
+	w := &trace.Script{ScriptName: "inf",
+		Insts: [][]isa.Inst{{{Op: isa.Load, Addr: 0x4000}, {Op: isa.ALU, Lat: 1}}}, Loop: true}
+	c := NewCore(0, &cfg, defense.Policy{Scheme: defense.Fence, Variant: defense.EP},
+		mem.L1(0), w.Generator(0, 1), NewBarrierSync(1), count)
+	if l1, _ := c.CSTs(); l1 != nil {
+		t.Fatal("infinite-CST core allocated finite CSTs")
+	}
+	for i := 1; i <= 500; i++ {
+		mem.Tick(int64(i))
+		c.Tick(int64(i))
+	}
+	if count.Get("pin.pinned") == 0 {
+		t.Fatal("no pinning under infinite CST")
+	}
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import "pinnedloads/internal/isa"
+
+// faultFlushPenalty is the extra frontend stall after taking an exception.
+const faultFlushPenalty = 30
+
+// retire commits up to IssueWidth instructions from the head of the ROB.
+func (c *Core) retire() {
+	retiredIdx := int64(-1)
+	for n := 0; n < c.cfg.IssueWidth && c.head < c.tail; n++ {
+		e := c.at(c.head)
+		switch e.inst.Op {
+		case isa.Load:
+			if e.inst.Fault && e.addrReady {
+				// Precise exception at the head: flush younger work,
+				// charge the handler penalty, and continue past the
+				// faulting instruction as if the OS repaired it.
+				c.count.Inc("squash.fault_taken")
+				c.squashFrom(c.head+1, "fault")
+				c.stallUntil = c.now + faultFlushPenalty
+				break
+			}
+			if !e.performed {
+				c.count.Inc("stall.retire_load")
+				return
+			}
+			if e.invisible && !e.exposeDone {
+				// An invisibly performed load must complete its exposure
+				// access before it may retire (InvisiSpec semantics).
+				c.count.Inc("stall.retire_expose")
+				return
+			}
+		case isa.Store:
+			if e.state != stDone {
+				return
+			}
+			if e.inst.Fault {
+				c.count.Inc("squash.fault_taken")
+				c.squashFrom(c.head+1, "fault")
+				c.stallUntil = c.now + faultFlushPenalty
+				break
+			}
+			if len(c.wb) >= c.cfg.WriteBufferEntries {
+				c.count.Inc("stall.wb_full")
+				return
+			}
+			c.wb = append(c.wb, e.inst.Addr)
+		case isa.Fence:
+			if len(c.wb) > 0 {
+				return
+			}
+		case isa.Barrier:
+			if len(c.wb) > 0 {
+				return
+			}
+			if c.bar != nil && !c.bar.arrive(c.id, c.barriersHit+1) {
+				c.count.Inc("stall.barrier")
+				return
+			}
+			c.barriersHit++
+		case isa.Lock:
+			// The atomic read-modify-write executes at the head, after
+			// the write buffer drains, holding the ROB until the line
+			// is owned and the RMW merges.
+			if !e.performed {
+				if len(c.wb) > 0 {
+					return
+				}
+				e.lockIssued = true
+				if !c.l1.MergeStore(e.line) {
+					c.l1.Acquire(e.line)
+					c.count.Inc("stall.lock")
+					return
+				}
+				e.performed = true
+			}
+		default:
+			if e.state != stDone {
+				return
+			}
+		}
+
+		// Commit.
+		switch e.inst.Op {
+		case isa.Load:
+			c.loadsInROB--
+			c.loadSeqs = removeSeq(c.loadSeqs, e.seq)
+			if e.performed {
+				c.removePerformed(e.seq)
+			}
+			if e.pinned {
+				c.unpin(e)
+			}
+			if e.token != 0 {
+				delete(c.tokenSeq, e.token)
+				e.token = 0
+			}
+		case isa.Store:
+			c.storesInROB--
+			c.storeSeqs = removeSeq(c.storeSeqs, e.seq)
+		case isa.Lock:
+			c.loadsInROB--
+			c.fences = removeSeq(c.fences, e.seq)
+		case isa.Fence, isa.Barrier:
+			c.fences = removeSeq(c.fences, e.seq)
+		}
+		if e.wrong {
+			c.fail("retiring wrong-path entry seq=%d", e.seq)
+		}
+		if e.winIdx != c.lastRetiredWin+1 {
+			c.fail("retirement gap: winIdx %d after %d (op %v)", e.winIdx, c.lastRetiredWin, e.inst.Op)
+		}
+		c.lastRetiredWin = e.winIdx
+		if e.winIdx >= 0 {
+			retiredIdx = e.winIdx + 1
+		}
+		c.head++
+		c.retired++
+		c.count.Inc("retired")
+	}
+	if retiredIdx >= 0 {
+		c.pruneWindow(retiredIdx)
+	}
+}
+
+// removeSeq deletes the first occurrence of seq from a bookkeeping list.
+func removeSeq(s []int64, seq int64) []int64 {
+	for i, v := range s {
+		if v == seq {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,394 @@
+package pipeline
+
+import (
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/pin"
+)
+
+// findOldestLoad refreshes the cached seq of the oldest unretired Load.
+func (c *Core) findOldestLoad() {
+	if len(c.loadSeqs) > 0 {
+		c.oldestLoadSeq = c.loadSeqs[0]
+	} else {
+		c.oldestLoadSeq = -1
+	}
+}
+
+// mcvSafeNow reports whether the load can no longer be squashed by a memory
+// consistency violation: it is pinned, or — under the aggressive TSO
+// implementation the evaluation uses (paper Sections 2 and 3.3) — it is the
+// oldest load in the ROB; under the conservative implementation only a load
+// at the ROB head qualifies.
+func (c *Core) mcvSafeNow(e *entry) bool {
+	if e.pinned || e.pinSafe {
+		return true
+	}
+	if c.cfg.AggressiveTSO {
+		return e.seq == c.oldestLoadSeq
+	}
+	return e.seq == c.head
+}
+
+// frontierPass reports whether the VP frontier may advance past e under the
+// given condition mask: e can no longer squash younger instructions for any
+// reason the mask covers.
+func (c *Core) frontierPass(e *entry, mask defense.Cond) bool {
+	switch e.inst.Op {
+	case isa.Branch:
+		if mask.Has(defense.CondCtrl) && !e.resolved {
+			return false
+		}
+	case isa.Store:
+		if mask.Has(defense.CondAlias|defense.CondException) && !e.addrReady {
+			return false
+		}
+		if mask.Has(defense.CondException) && e.inst.Fault {
+			return false
+		}
+	case isa.Load:
+		if mask.Has(defense.CondException) && (!e.addrReady || e.inst.Fault) {
+			return false
+		}
+		if mask.Has(defense.CondMCV) && !c.mcvSafeNow(e) {
+			return false
+		}
+	case isa.Fence, isa.Lock, isa.Barrier:
+		// Serializing operations hold the frontier until they retire.
+		return false
+	}
+	return true
+}
+
+// advanceVP updates the cached oldest load, marks the oldest load MCV-safe
+// under aggressive TSO, and advances the VP frontiers.
+func (c *Core) advanceVP() {
+	c.findOldestLoad()
+	if c.cfg.AggressiveTSO && c.oldestLoadSeq >= 0 {
+		// The oldest load can never be squashed by an invalidation or
+		// eviction; the property is sticky because loads retire in order.
+		c.at(c.oldestLoadSeq).pinSafe = true
+	}
+	// Frontiers can fall behind the head when the entry blocking them
+	// retires; instructions that left the ROB trivially pass.
+	if c.vpFrontier < c.head {
+		c.vpFrontier = c.head
+	}
+	mask := c.policy.VPConds()
+	for c.vpFrontier < c.tail && c.frontierPass(c.at(c.vpFrontier), mask) {
+		c.vpFrontier++
+	}
+	if c.policy.Pinning() {
+		if c.pinVPFrontier < c.head {
+			c.pinVPFrontier = c.head
+		}
+		pinMask := mask &^ defense.CondMCV
+		for c.pinVPFrontier < c.tail && c.frontierPass(c.at(c.pinVPFrontier), pinMask) {
+			c.pinVPFrontier++
+		}
+	}
+}
+
+// reachedVP reports (and caches) whether a load has reached its Visibility
+// Point under the active policy: every older instruction has passed the
+// frontier and the load's own conditions hold.
+func (c *Core) reachedVP(e *entry) bool {
+	if e.vpReached {
+		return true
+	}
+	if c.vpFrontier < e.seq {
+		return false
+	}
+	mask := c.policy.VPConds()
+	if mask.Has(defense.CondException) && (!e.addrReady || e.inst.Fault) {
+		return false
+	}
+	if mask.Has(defense.CondMCV) && e.isLoad() && !c.mcvSafeNow(e) {
+		return false
+	}
+	e.vpReached = true
+	return true
+}
+
+// tainted reports whether the entry's value (for loads: address operands)
+// transitively depends on a load that has not yet reached its VP — the STT
+// taint condition. The youngest-root optimization is sound because the VP
+// passes to younger loads in program order.
+func (c *Core) tainted(e *entry) bool {
+	r := e.yroot
+	if r < 0 || r < c.head {
+		return false
+	}
+	return !c.reachedVP(c.at(r))
+}
+
+// pinGovernor pins loads in strict program order (paper Section 5.2) when
+// they have met every VP condition except MCV safety, the write buffer can
+// absorb all older stores, the line is not in the CPT, and — for Early
+// Pinning — the CSTs guarantee cache and directory space.
+func (c *Core) pinGovernor() {
+	c.pinPendingSeq = -1
+	if !c.policy.Pinning() {
+		return
+	}
+	if c.wrapStall {
+		// LQ ID tag wraparound: wait for all pinned loads to retire,
+		// then clear the CSTs and resume (paper Section 6.2).
+		if len(c.pinnedRef) > 0 {
+			return
+		}
+		if c.l1CST != nil {
+			c.l1CST.Clear()
+			c.dirCST.Clear()
+		}
+		c.wrapStall = false
+	}
+	if !c.cpt.CanPin() {
+		c.count.Inc("pin.stall_cpt_full")
+		return
+	}
+	if c.pinFrontier < c.head {
+		c.pinFrontier = c.head
+	}
+	for {
+		// Advance past non-loads and already-safe loads.
+		for c.pinFrontier < c.tail {
+			e := c.at(c.pinFrontier)
+			if e.isLoad() && !e.pinned && !e.pinSafe {
+				break
+			}
+			if e.inst.Op == isa.Fence || e.inst.Op == isa.Lock || e.inst.Op == isa.Barrier {
+				// Never pin loads younger than an in-ROB fence or
+				// atomic (paper Section 5).
+				return
+			}
+			c.pinFrontier++
+		}
+		if c.pinFrontier >= c.tail {
+			return
+		}
+		e := c.at(c.pinFrontier)
+		// All VP conditions except MCV must hold for this load.
+		if c.pinVPFrontier < e.seq || !e.addrReady || e.inst.Fault {
+			return
+		}
+		// Write-buffer deadlock check (paper Section 5.1.2): every
+		// yet-to-complete older store must fit in the write buffer.
+		if c.olderUndrainedStores(e.seq) > c.cfg.WriteBufferEntries {
+			c.count.Inc("pin.stall_wb")
+			return
+		}
+		if c.cpt.Contains(e.line) {
+			c.count.Inc("pin.stall_cpt")
+			return
+		}
+		if c.policy.Variant == defense.LP {
+			if !e.performed {
+				// Late Pinning issues the load and pins it when the
+				// data arrives; meanwhile it may issue to memory.
+				c.pinPendingSeq = e.seq
+				return
+			}
+			if !c.l1SetRoom(e.line) {
+				c.count.Inc("pin.stall_l1set")
+				return
+			}
+			if !c.mayRecordPin(e.line) {
+				c.count.Inc("pin.stall_record")
+				return
+			}
+			c.commitPin(e)
+			continue
+		}
+		// Early Pinning: consult the Cache Shadow Tables.
+		if !c.cstAdmit(e) {
+			c.count.Inc("pin.stall_cst")
+			return
+		}
+		if !c.mayRecordPin(e.line) {
+			c.count.Inc("pin.stall_record")
+			return
+		}
+		c.commitPin(e)
+		if !e.performed {
+			c.l1.PinInFlight(e.line)
+		}
+	}
+}
+
+// olderUndrainedStores counts stores older than seq that have not yet
+// merged into the cache: write-buffer occupants plus in-ROB stores.
+func (c *Core) olderUndrainedStores(seq int64) int {
+	n := len(c.wb)
+	for _, s := range c.storeSeqs {
+		if s < seq {
+			n++
+		}
+	}
+	return n
+}
+
+// cstAdmit checks both CSTs (or the precise trackers when InfiniteCST is
+// set) for room to pin e's line.
+func (c *Core) cstAdmit(e *entry) bool {
+	line := e.line
+	if c.pinnedRef[line] > 0 {
+		// The line is already pinned by an older load: space is already
+		// guaranteed; the CST merely updates the youngest LQ ID.
+		if c.l1CST != nil {
+			tag := c.peekTag()
+			c.l1CST.TryPin(line, c.l1Key(line), tag, c.tagLive, true)
+			c.dirCST.TryPin(line, c.dirKey(line), tag, c.tagLive, true)
+		}
+		return true
+	}
+	l1Room := c.preciseRoom(line, true)
+	dirRoom := c.preciseRoom(line, false)
+	if c.l1CST == nil {
+		// Infinite (perfectly precise) CST mode.
+		return l1Room && dirRoom
+	}
+	tag := c.peekTag()
+	if c.dirCST.TryPin(line, c.dirKey(line), tag, c.tagLive, dirRoom) != pin.PinOK {
+		return false
+	}
+	if c.l1CST.TryPin(line, c.l1Key(line), tag, c.tagLive, l1Room) != pin.PinOK {
+		// The dir CST record just inserted references a tag that never
+		// commits; it is expunged lazily like any stale record.
+		return false
+	}
+	return l1Room && dirRoom
+}
+
+// l1SetRoom reports whether a new line may be pinned in its L1 set. One
+// way per set is never pinnable: if every way could hold a pinned line, an
+// older buffered store whose line maps to the set could never merge, and —
+// because a full write buffer stalls retirement — the younger pinned loads
+// protecting those ways would never retire either. Reserving a way breaks
+// that same-core circular wait (a refinement of paper Section 5.1.2's
+// resource guarantee).
+func (c *Core) l1SetRoom(line uint64) bool {
+	if c.pinnedRef[line] > 0 {
+		return true // the line is already pinned: no new way needed
+	}
+	set := c.cfg.L1Set(line)
+	n := 0
+	for l := range c.pinnedRef {
+		if c.cfg.L1Set(l) == set {
+			n++
+		}
+	}
+	return n < c.cfg.L1Ways-1
+}
+
+// preciseRoom reports whether pinning a new line would keep the per-set
+// pinned-line count within the structural limit: the L1 associativity
+// (minus the reserved way, see l1SetRoom), or the per-core directory/LLC
+// reservation Wd (paper Section 5.1.4).
+func (c *Core) preciseRoom(line uint64, l1 bool) bool {
+	var limit, n int
+	if l1 {
+		limit = c.cfg.L1Ways - 1
+		set := c.cfg.L1Set(line)
+		for l := range c.pinnedRef {
+			if c.cfg.L1Set(l) == set && l != line {
+				n++
+			}
+		}
+	} else {
+		limit = c.cfg.Wd
+		slice, set := c.cfg.LLCSlice(line), c.cfg.LLCSet(line)
+		for l := range c.pinnedRef {
+			if l != line && c.cfg.LLCSlice(l) == slice && c.cfg.LLCSet(l) == set {
+				n++
+			}
+		}
+	}
+	return n < limit
+}
+
+// l1Key and dirKey produce the CST entry hash keys.
+func (c *Core) l1Key(line uint64) uint32 { return uint32(c.cfg.L1Set(line)) }
+func (c *Core) dirKey(line uint64) uint32 {
+	return uint32(c.cfg.LLCSlice(line)*c.cfg.LLCSets + c.cfg.LLCSet(line))
+}
+
+// peekTag returns the LQ ID tag the next pin will use.
+func (c *Core) peekTag() uint32 { return uint32(c.lqTagNext) & c.lqTagMask }
+
+// tagLive reports whether an extended LQ ID names a currently pinned load;
+// the CST uses it to expunge stale records.
+func (c *Core) tagLive(tag uint32) bool {
+	seq, ok := c.tagToSeq[tag]
+	if !ok || !c.valid(seq) {
+		return false
+	}
+	e := c.at(seq)
+	return e.pinned && e.lqTag == tag
+}
+
+// mayRecordPin models the cost of the pinned-line record. With the default
+// LQ-based record (paper Section 6.1.1) pinning is free; with the L1-tag
+// record (Section 6.1.2) setting the Pinned bit of a newly pinned line
+// consumes an L1 port, so pinning waits when the ports are busy.
+func (c *Core) mayRecordPin(line uint64) bool {
+	if !c.cfg.PinRecordL1Tags {
+		return true
+	}
+	if c.pinnedRef[line] > 0 {
+		// An older pinned load covers the line: the hardware just
+		// passes the YPL bit in the LQ, with no L1 access.
+		return true
+	}
+	return c.l1.AcquirePort()
+}
+
+// recordUnpin models the unpin cost of the L1-tag record: clearing the
+// Pinned bit needs an L1 access; it queues until a port is free.
+func (c *Core) recordUnpin(line uint64) {
+	if !c.cfg.PinRecordL1Tags {
+		return
+	}
+	c.pendingUnpins = append(c.pendingUnpins, line)
+}
+
+// drainUnpins retires queued Pinned-bit clears, one port each.
+func (c *Core) drainUnpins() {
+	for len(c.pendingUnpins) > 0 && c.l1.AcquirePort() {
+		c.pendingUnpins = c.pendingUnpins[1:]
+		c.count.Inc("pin.l1tag_unpins")
+	}
+}
+
+// commitPin marks the load pinned and advances the pin frontier.
+func (c *Core) commitPin(e *entry) {
+	e.pinned = true
+	e.lqTag = c.peekTag()
+	c.lqTagNext++
+	if uint32(c.lqTagNext)&c.lqTagMask == 0 {
+		// The extended tag space wrapped: stop pinning until all pinned
+		// loads retire (rare with 24-bit tags).
+		c.wrapStall = true
+		c.count.Inc("pin.wraparound")
+	}
+	c.tagToSeq[e.lqTag] = e.seq
+	c.pinnedRef[e.line]++
+	c.pinFrontier = e.seq + 1
+	c.count.Inc("pin.pinned")
+}
+
+// unpin releases a pinned load's record at retirement.
+func (c *Core) unpin(e *entry) {
+	if n := c.pinnedRef[e.line]; n > 1 {
+		c.pinnedRef[e.line] = n - 1
+	} else {
+		delete(c.pinnedRef, e.line)
+		// Last pinned load of the line: with the L1-tag record, the
+		// Pinned bit in the cache must be cleared (the retiring load
+		// carries the YPL bit, paper Section 6.1.2).
+		c.recordUnpin(e.line)
+	}
+	if s, ok := c.tagToSeq[e.lqTag]; ok && s == e.seq {
+		delete(c.tagToSeq, e.lqTag)
+	}
+}

@@ -1,0 +1,156 @@
+// Package stats provides the statistics machinery shared by all simulator
+// components: named counters, occupancy trackers, simple histograms, and the
+// aggregate helpers (geometric mean, normalized overhead) used by the
+// experiment harness to regenerate the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonically increasing event counters.
+// The zero value is ready to use.
+type Counters struct {
+	m map[string]uint64
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all counters from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.Add(k, v)
+	}
+}
+
+// String renders the counters as "name=value" lines in sorted order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", name, c.m[name])
+	}
+	return b.String()
+}
+
+// Occupancy tracks the time-weighted average and maximum occupancy of a
+// finite resource (for example, the Cannot-Pin Table).
+type Occupancy struct {
+	sum     uint64
+	samples uint64
+	max     int
+}
+
+// Sample records the occupancy value for one cycle.
+func (o *Occupancy) Sample(v int) {
+	o.sum += uint64(v)
+	o.samples++
+	if v > o.max {
+		o.max = v
+	}
+}
+
+// Mean returns the average sampled occupancy, or 0 with no samples.
+func (o *Occupancy) Mean() float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.sum) / float64(o.samples)
+}
+
+// Max returns the maximum sampled occupancy.
+func (o *Occupancy) Max() int { return o.max }
+
+// Samples returns the number of samples recorded.
+func (o *Occupancy) Samples() uint64 { return o.samples }
+
+// Histogram is a fixed-bucket histogram of small non-negative integers.
+// Values at or above the bucket count are accumulated in the last bucket.
+type Histogram struct {
+	buckets []uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram with n buckets (n must be > 0).
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram requires n > 0")
+	}
+	return &Histogram{buckets: make([]uint64, n)}
+}
+
+// Observe records one occurrence of value v (clamped to the last bucket).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+	h.total++
+}
+
+// Count returns the number of observations in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.buckets[i] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean observed value (treating the last bucket as exact).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for i, c := range h.buckets {
+		sum += uint64(i) * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// GeoMean returns the geometric mean of xs. It panics if any value is not
+// positive, and returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Overhead converts a normalized CPI (relative to an unsafe baseline) to a
+// percentage execution overhead: 1.35x -> 35.0.
+func Overhead(normalizedCPI float64) float64 {
+	return (normalizedCPI - 1) * 100
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	c.Inc("y")
+	if c.Get("x") != 5 || c.Get("y") != 1 {
+		t.Fatalf("got x=%d y=%d", c.Get("x"), c.Get("y"))
+	}
+}
+
+func TestCountersNamesSorted(t *testing.T) {
+	var c Counters
+	c.Inc("zeta")
+	c.Inc("alpha")
+	c.Inc("mid")
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Add("x", 2)
+	b.Add("x", 3)
+	b.Add("y", 1)
+	a.Merge(&b)
+	if a.Get("x") != 5 || a.Get("y") != 1 {
+		t.Fatalf("merge: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	var c Counters
+	c.Add("hits", 7)
+	if !strings.Contains(c.String(), "hits=7") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	var o Occupancy
+	if o.Mean() != 0 || o.Max() != 0 {
+		t.Fatal("zero-value occupancy not zero")
+	}
+	for _, v := range []int{1, 2, 3} {
+		o.Sample(v)
+	}
+	if o.Mean() != 2 || o.Max() != 3 || o.Samples() != 3 {
+		t.Fatalf("mean=%v max=%d n=%d", o.Mean(), o.Max(), o.Samples())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 9, -3} {
+		h.Observe(v)
+	}
+	if h.Count(0) != 2 { // 0 and the clamped -3
+		t.Fatalf("bucket 0 = %d", h.Count(0))
+	}
+	if h.Count(3) != 1 { // 9 clamps into the last bucket
+		t.Fatalf("bucket 3 = %d", h.Count(3))
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with 0 did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max.
+	if err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		return g >= min-1e-9 && g <= max+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead(1.35) != 35.000000000000014 && math.Abs(Overhead(1.35)-35) > 1e-9 {
+		t.Fatalf("Overhead(1.35) = %v", Overhead(1.35))
+	}
+	if Overhead(1) != 0 {
+		t.Fatalf("Overhead(1) = %v", Overhead(1))
+	}
+}

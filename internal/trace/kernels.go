@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/xrand"
+)
+
+// KernelKind is a memory access pattern.
+type KernelKind uint8
+
+const (
+	// Hot touches a small, cache-resident working set (mostly L1 hits).
+	Hot KernelKind = iota
+	// Stream walks a large footprint sequentially in sub-line steps, so
+	// most accesses hit a recently fetched or prefetched line.
+	Stream
+	// Stride walks a large footprint in multi-line strides, defeating
+	// the next-line prefetcher.
+	Stride
+	// Random touches uniformly random lines in its footprint; misses are
+	// independent, exposing memory-level parallelism.
+	Random
+	// Chase touches random lines AND makes each access's address depend
+	// on the previous Chase load (pointer chasing): misses serialize.
+	Chase
+)
+
+var kernelNames = [...]string{Hot: "hot", Stream: "stream", Stride: "stride",
+	Random: "random", Chase: "chase"}
+
+// String returns the kernel name.
+func (k KernelKind) String() string { return kernelNames[k] }
+
+// Kernel is one weighted access pattern inside a Profile.
+type Kernel struct {
+	Kind KernelKind
+	// Weight is the relative probability a load/store uses this kernel.
+	Weight float64
+	// FootprintKB is the pattern's working set in kilobytes.
+	FootprintKB int
+	// StrideLines is the Stride kernel's step in lines (default 4).
+	StrideLines int
+}
+
+// kernelState is the runtime state of one kernel instance.
+type kernelState struct {
+	Kernel
+	base      uint64
+	lines     uint64
+	pos       uint64 // byte offset within the footprint (Stream/Stride)
+	lastChase int64  // generator index of the previous Chase load
+}
+
+// next returns the next byte address for the kernel and whether the access
+// is a pointer-chase step (its address depends on the previous access).
+func (k *kernelState) next(rng *xrand.RNG) (addr uint64, chase bool) {
+	switch k.Kind {
+	case Hot, Random:
+		return k.base + rng.Uint64n(k.lines)*arch.LineBytes, false
+	case Stream:
+		k.pos += 16 // four accesses per 64-byte line
+		if k.pos >= k.lines*arch.LineBytes {
+			k.pos = 0
+		}
+		return k.base + k.pos, false
+	case Stride:
+		step := uint64(k.StrideLines)
+		if step == 0 {
+			step = 4
+		}
+		k.pos += step * arch.LineBytes
+		if k.pos >= k.lines*arch.LineBytes {
+			k.pos %= arch.LineBytes // restart with a small phase shift
+		}
+		return k.base + k.pos, false
+	case Chase:
+		return k.base + rng.Uint64n(k.lines)*arch.LineBytes, true
+	}
+	panic("trace: unknown kernel kind")
+}

@@ -1,0 +1,162 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	base := New(7)
+	a := base.Derive(1)
+	b := base.Derive(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived streams with different labels coincide")
+	}
+	// Deriving must not disturb the parent stream.
+	c := New(7)
+	c.Derive(1)
+	c.Derive(2)
+	if base.Uint64() != c.Uint64() {
+		t.Fatal("Derive disturbed the parent state")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := New(7).Derive(3)
+	b := New(7).Derive(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("derived streams not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		n := uint64(i%97 + 1)
+		if v := r.Uint64n(n); v >= n {
+			t.Fatalf("Uint64n(%d) = %d", n, v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bool(%v) rate %v", p, got)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-1) {
+			t.Fatal("Bool(-1) returned true")
+		}
+		if !r.Bool(2) {
+			t.Fatal("Bool(2) returned false")
+		}
+	}
+}
+
+func TestUint32Varies(t *testing.T) {
+	r := New(19)
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Uint32()] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("Uint32 produced only %d distinct values in 1000 draws", len(seen))
+	}
+}

@@ -1,0 +1,231 @@
+// Package pinnedloads is a from-scratch reproduction of "Pinned Loads:
+// Taming Speculative Loads in Secure Processors" (Zhao, Ji, Morrison,
+// Marinov, Torrellas — ASPLOS 2022) as a self-contained Go library.
+//
+// It provides a cycle-level simulator of multicore out-of-order TSO
+// processors with a directory-based MESI coherence protocol, extended with
+// the paper's Pinned Loads mechanisms (invalidation deferral, eviction
+// denial, Cache Shadow Tables, Cannot-Pin Tables), the defense schemes the
+// paper evaluates (Fence, Delay-On-Miss, STT) under the Comprehensive and
+// Spectre threat models, and synthetic proxies for the SPEC17, SPLASH2 and
+// PARSEC workloads of its evaluation.
+//
+// Quick start:
+//
+//	res, err := pinnedloads.Run(pinnedloads.RunSpec{
+//		Benchmark: "mcf_r",
+//		Scheme:    pinnedloads.Fence,
+//		Variant:   pinnedloads.EP,
+//		Measure:   100_000,
+//	})
+//
+// Normalize against a second run with Scheme: Unsafe to obtain the
+// execution overhead the paper reports. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
+package pinnedloads
+
+import (
+	"fmt"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/core"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/pin"
+	"pinnedloads/internal/stats"
+	"pinnedloads/internal/trace"
+	"pinnedloads/internal/tracefile"
+)
+
+// Config describes the simulated machine; see arch.Config for all fields.
+type Config = arch.Config
+
+// PaperConfig returns the paper's Table 1 machine with the given core count.
+func PaperConfig(cores int) Config { return arch.PaperConfig(cores) }
+
+// Scheme is a hardware defense scheme (Unsafe, Fence, DOM, STT).
+type Scheme = defense.Scheme
+
+// Defense scheme values (paper Table 2), plus the InvisiSpec-style
+// invisible-execution scheme (IS) the paper lists as a protectable
+// category.
+const (
+	Unsafe = defense.Unsafe
+	Fence  = defense.Fence
+	DOM    = defense.DOM
+	STT    = defense.STT
+	IS     = defense.IS
+)
+
+// Variant is a configuration extension (Comp, LP, EP, Spectre).
+type Variant = defense.Variant
+
+// Configuration variants (paper Table 3).
+const (
+	Comp    = defense.Comp
+	LP      = defense.LP
+	EP      = defense.EP
+	Spectre = defense.Spectre
+)
+
+// Cond is a Visibility Point condition mask; used by the Figure 1 study.
+type Cond = defense.Cond
+
+// VP squash-source conditions (paper Section 1).
+const (
+	CondCtrl      = defense.CondCtrl
+	CondAlias     = defense.CondAlias
+	CondException = defense.CondException
+	CondMCV       = defense.CondMCV
+)
+
+// Workload is a source of per-core instruction streams.
+type Workload = trace.Source
+
+// Profile is a parameterized synthetic benchmark proxy.
+type Profile = trace.Profile
+
+// Script is a fixed instruction sequence usable as a custom Workload.
+type Script = trace.Script
+
+// Inst is one micro-operation of a Script workload.
+type Inst = isa.Inst
+
+// Micro-operation kinds for Script workloads.
+const (
+	OpNop     = isa.Nop
+	OpALU     = isa.ALU
+	OpFALU    = isa.FALU
+	OpBranch  = isa.Branch
+	OpLoad    = isa.Load
+	OpStore   = isa.Store
+	OpFence   = isa.Fence
+	OpLock    = isa.Lock
+	OpBarrier = isa.Barrier
+	OpHalt    = isa.Halt
+)
+
+// Counters is the set of event counters a run accumulates.
+type Counters = stats.Counters
+
+// HardwareCost is the storage added by the Pinned Loads structures.
+type HardwareCost = pin.HardwareCost
+
+// Cost computes Pinned Loads storage for a configuration (Section 9.2.4).
+func Cost(cfg *Config) HardwareCost { return pin.Cost(cfg) }
+
+// SPEC17, SPLASH2 and PARSEC return the benchmark proxy suites.
+func SPEC17() []*Profile  { return trace.SPEC17() }
+func SPLASH2() []*Profile { return trace.SPLASH2() }
+func PARSEC() []*Profile  { return trace.PARSEC() }
+
+// Benchmark returns the proxy with the given name, or nil.
+func Benchmark(name string) *Profile { return trace.ByName(name) }
+
+// RecordTrace captures n instructions per core of a workload into a
+// replayable binary trace file (see also cmd/pltrace -record).
+func RecordTrace(w Workload, seed uint64, n int, path string) error {
+	return tracefile.Record(w, seed, n).Save(path)
+}
+
+// LoadTrace loads a recorded trace file as a Workload; replay is
+// bit-identical to the original stream regardless of simulator version.
+func LoadTrace(path string) (Workload, error) {
+	return tracefile.Load(path)
+}
+
+// DefaultWarmup and DefaultMeasure are the instruction counts used when a
+// RunSpec leaves them zero.
+const (
+	DefaultWarmup  = 20_000
+	DefaultMeasure = 100_000
+)
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Benchmark names a built-in proxy (e.g. "mcf_r"); alternatively set
+	// Workload directly.
+	Benchmark string
+	Workload  Workload
+
+	// Scheme and Variant select the protection configuration. Conds, when
+	// non-zero, overrides the VP condition mask (Figure 1 study).
+	Scheme  Scheme
+	Variant Variant
+	Conds   Cond
+
+	// Config overrides the machine; zero value means PaperConfig with the
+	// workload's natural core count.
+	Config *Config
+
+	// Seed selects the deterministic workload instance (default 1).
+	Seed uint64
+
+	// Warmup and Measure are per-core instruction counts.
+	Warmup  int64
+	Measure int64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// CPI is the measured per-core cycles per instruction.
+	CPI float64
+	// Cycles and Insts are the measured interval and per-core target.
+	Cycles int64
+	Insts  int64
+	// Counters holds all event counters from the run.
+	Counters *Counters
+}
+
+// Run executes one simulation.
+func Run(spec RunSpec) (Result, error) {
+	w := spec.Workload
+	if w == nil {
+		if spec.Benchmark == "" {
+			return Result{}, fmt.Errorf("pinnedloads: RunSpec needs a Benchmark or Workload")
+		}
+		p := trace.ByName(spec.Benchmark)
+		if p == nil {
+			return Result{}, fmt.Errorf("pinnedloads: unknown benchmark %q", spec.Benchmark)
+		}
+		w = p
+	}
+	var cfg Config
+	if spec.Config != nil {
+		cfg = *spec.Config
+	} else {
+		cores := w.Cores()
+		if cores < 1 {
+			cores = 1
+		}
+		cfg = arch.PaperConfig(cores)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	warmup := spec.Warmup
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	measure := spec.Measure
+	if measure == 0 {
+		measure = DefaultMeasure
+	}
+	policy := defense.Policy{Scheme: spec.Scheme, Variant: spec.Variant, Conds: spec.Conds}
+	sys, err := core.New(cfg, policy, w, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sys.Run(warmup, measure)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{CPI: res.CPI, Cycles: res.Cycles, Insts: res.Insts, Counters: res.Counters}, nil
+}
+
+// Overhead converts a protected CPI and an unsafe-baseline CPI into the
+// percentage execution overhead the paper reports.
+func Overhead(protected, unsafe float64) float64 {
+	return stats.Overhead(protected / unsafe)
+}

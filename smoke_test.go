@@ -1,0 +1,39 @@
+package pinnedloads
+
+import "testing"
+
+// TestSmokeUnsafe runs a small unsafe-baseline simulation end to end.
+func TestSmokeUnsafe(t *testing.T) {
+	res, err := Run(RunSpec{Benchmark: "gcc_r", Scheme: Unsafe, Warmup: 2000, Measure: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gcc_r unsafe CPI=%.3f cycles=%d", res.CPI, res.Cycles)
+	if res.CPI <= 0.1 || res.CPI > 20 {
+		t.Fatalf("implausible CPI %v", res.CPI)
+	}
+}
+
+// TestSmokeSchemes runs each scheme/variant combination briefly.
+func TestSmokeSchemes(t *testing.T) {
+	for _, sch := range []Scheme{Fence, DOM, STT} {
+		for _, v := range []Variant{Comp, LP, EP, Spectre} {
+			res, err := Run(RunSpec{Benchmark: "gcc_r", Scheme: sch, Variant: v,
+				Warmup: 1000, Measure: 5000})
+			if err != nil {
+				t.Fatalf("%v-%v: %v", sch, v, err)
+			}
+			t.Logf("gcc_r %v-%v CPI=%.3f", sch, v, res.CPI)
+		}
+	}
+}
+
+// TestSmokeParallel runs an 8-core workload briefly.
+func TestSmokeParallel(t *testing.T) {
+	res, err := Run(RunSpec{Benchmark: "fft", Scheme: Fence, Variant: EP,
+		Warmup: 1000, Measure: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fft fence-EP CPI=%.3f", res.CPI)
+}
