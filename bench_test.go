@@ -35,7 +35,10 @@ func BenchmarkTable1Hardware(b *testing.B) {
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunFigure1(r)
+		f, err := experiments.RunFigure1(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		o := f.Overhead["SPEC17"]
 		b.ReportMetric(o[3], "SPEC17-total-%")
 		b.ReportMetric(o[3]-o[2], "SPEC17-MCV-%")
@@ -46,7 +49,10 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunFigure2(r)
+		f, err := experiments.RunFigure2(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		ind := f.CPI["independent"]
 		b.ReportMetric(ind["Safe(COMP)"]/ind["Unsafe"], "safe-vs-unsafe")
 		b.ReportMetric(ind["EP"]/ind["Unsafe"], "EP-vs-unsafe")
@@ -57,7 +63,10 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunCPIFigure(r, "Figure 7", "SPEC17")
+		f, err := experiments.RunCPIFigure(r, "Figure 7", "SPEC17")
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, sch := range f.Schemes {
 			name := sch.String()
 			b.ReportMetric((f.GeoMean[sch][defense.Comp]-1)*100, name+"-COMP-%")
@@ -70,7 +79,10 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunCPIFigure(r, "Figure 8", "SPLASH2", "PARSEC")
+		f, err := experiments.RunCPIFigure(r, "Figure 8", "SPLASH2", "PARSEC")
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, sch := range f.Schemes {
 			name := sch.String()
 			b.ReportMetric((f.GeoMean[sch][defense.Comp]-1)*100, name+"-COMP-%")
@@ -83,7 +95,10 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunFigure9(r)
+		f, err := experiments.RunFigure9(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range f.Rows {
 			if row.Group == "SPEC17" {
 				b.ReportMetric(row.EP, row.Scheme.String()+"-EP-%")
@@ -96,7 +111,10 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkSection913Traffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunTraffic(r)
+		f, err := experiments.RunTraffic(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var maxW float64
 		for _, row := range f.Rows {
 			if row.MaxWrites > maxW {
@@ -111,7 +129,10 @@ func BenchmarkSection913Traffic(b *testing.B) {
 func BenchmarkSection921CST(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunCSTStudy(r)
+		f, err := experiments.RunCSTStudy(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(f.L1FP["SPEC17"]*100, "L1-FP-%")
 		b.ReportMetric(f.OverheadDelta["SPEC17"], "vs-infinite-%")
 	}
@@ -121,7 +142,10 @@ func BenchmarkSection921CST(b *testing.B) {
 func BenchmarkSection922CPT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunCPTStudy(r)
+		f, err := experiments.RunCPTStudy(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(f.MeanOccupancy, "mean-occupancy")
 		b.ReportMetric(float64(f.MaxOccupancy), "max-occupancy")
 	}
@@ -131,7 +155,10 @@ func BenchmarkSection922CPT(b *testing.B) {
 func BenchmarkSection923Wd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		f := experiments.RunWdStudy(r)
+		f, err := experiments.RunWdStudy(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range f.Rows {
 			if row.Scheme == defense.Fence && row.Group == "SPEC17" {
 				b.ReportMetric(row.Wd2Percent, "Fence-Wd2-%")

@@ -8,9 +8,14 @@
 //	plbench -table 1              # architecture + hardware tables
 //	plbench -all                  # everything
 //	plbench -quick -fig 7         # fast, low-precision sizing
+//	plbench -workers 8 -all       # bound simulation parallelism
 //	plbench -measure 100000 -warmup 20000 -seed 2 ...
 //
-// Results print as text tables; EXPERIMENTS.md records a reference run.
+// Simulations within each experiment run on a worker pool (-workers,
+// default: every available CPU); results are bit-identical to a
+// sequential -workers 1 run. Results print as text tables; EXPERIMENTS.md
+// records a reference run. A failed simulation aborts with a non-zero
+// exit after the remaining experiments have been attempted.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		warmup  = flag.Int64("warmup", 0, "override warmup instructions per core")
 		measure = flag.Int64("measure", 0, "override measured instructions per core")
 		seed    = flag.Uint64("seed", 0, "override workload seed")
+		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all CPUs)")
 		verbose = flag.Bool("v", false, "print each simulation as it completes")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
 		chart   = flag.Bool("chart", false, "render figures as terminal bar charts too")
@@ -53,6 +59,7 @@ func main() {
 		params.Seed = *seed
 	}
 	runner := experiments.NewRunner(params)
+	runner.Workers = *workers
 	if *verbose {
 		runner.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -70,97 +77,145 @@ func main() {
 	}
 
 	ran := false
-	section := func(fn func()) {
+	failed := false
+	section := func(fn func() error) {
 		ran = true
 		start := time.Now()
-		fn()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "plbench: %v\n", err)
+			failed = true
+			return
+		}
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
-	if want(*tables, "1") {
-		section(func() {
-			fmt.Println(experiments.ArchTable())
-			fmt.Println(experiments.HardwareTable())
-		})
-	}
-	saveCSV := func(name string, result any) {
-		if *csvDir == "" {
+	// show prints a finished experiment, its optional chart rendering, and
+	// its optional CSV file.
+	show := func(result fmt.Stringer, csvName string) {
+		fmt.Println(result)
+		if *chart {
+			if c, ok := result.(experiments.Charter); ok {
+				fmt.Println(c.Chart())
+			}
+		}
+		if csvName == "" || *csvDir == "" {
 			return
 		}
-		if path, err := experiments.WriteCSV(*csvDir, name, result); err != nil {
+		if path, err := experiments.WriteCSV(*csvDir, csvName, result); err != nil {
 			fmt.Fprintf(os.Stderr, "plbench: csv: %v\n", err)
+			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
 
+	if want(*tables, "1") {
+		section(func() error {
+			fmt.Println(experiments.ArchTable())
+			fmt.Println(experiments.HardwareTable())
+			return nil
+		})
+	}
 	if want(*figs, "1") {
-		section(func() {
-			f := experiments.RunFigure1(runner)
-			fmt.Println(f)
-			if *chart {
-				fmt.Println(f.Chart())
+		section(func() error {
+			f, err := experiments.RunFigure1(runner)
+			if err != nil {
+				return err
 			}
-			saveCSV("figure1", f)
+			show(f, "figure1")
+			return nil
 		})
 	}
 	if want(*figs, "2") {
-		section(func() { fmt.Println(experiments.RunFigure2(runner)) })
+		section(func() error {
+			f, err := experiments.RunFigure2(runner)
+			if err != nil {
+				return err
+			}
+			show(f, "")
+			return nil
+		})
 	}
 	if want(*figs, "7") {
-		section(func() {
-			f := experiments.RunCPIFigure(runner, "Figure 7 (SPEC17)", "SPEC17")
-			fmt.Println(f)
-			if *chart {
-				fmt.Println(f.Chart())
+		section(func() error {
+			f, err := experiments.RunCPIFigure(runner, "Figure 7 (SPEC17)", "SPEC17")
+			if err != nil {
+				return err
 			}
-			saveCSV("figure7", f)
+			show(f, "figure7")
+			return nil
 		})
 	}
 	if want(*figs, "8") {
-		section(func() {
-			f := experiments.RunCPIFigure(runner, "Figure 8 (SPLASH2+PARSEC)", "SPLASH2", "PARSEC")
-			fmt.Println(f)
-			if *chart {
-				fmt.Println(f.Chart())
+		section(func() error {
+			f, err := experiments.RunCPIFigure(runner, "Figure 8 (SPLASH2+PARSEC)", "SPLASH2", "PARSEC")
+			if err != nil {
+				return err
 			}
-			saveCSV("figure8", f)
+			show(f, "figure8")
+			return nil
 		})
 	}
 	if want(*figs, "9") {
-		section(func() {
-			f := experiments.RunFigure9(runner)
-			fmt.Println(f)
-			if *chart {
-				fmt.Println(f.Chart())
+		section(func() error {
+			f, err := experiments.RunFigure9(runner)
+			if err != nil {
+				return err
 			}
-			saveCSV("figure9", f)
+			show(f, "figure9")
+			return nil
 		})
 	}
 	if want(*secs, "9.1.3") {
-		section(func() {
-			f := experiments.RunTraffic(runner)
-			fmt.Println(f)
-			saveCSV("traffic", f)
+		section(func() error {
+			f, err := experiments.RunTraffic(runner)
+			if err != nil {
+				return err
+			}
+			show(f, "traffic")
+			return nil
 		})
 	}
 	if want(*secs, "9.2.1") {
-		section(func() { fmt.Println(experiments.RunCSTStudy(runner)) })
+		section(func() error {
+			f, err := experiments.RunCSTStudy(runner)
+			if err != nil {
+				return err
+			}
+			show(f, "")
+			return nil
+		})
 	}
 	if want(*secs, "9.2.2") {
-		section(func() { fmt.Println(experiments.RunCPTStudy(runner)) })
+		section(func() error {
+			f, err := experiments.RunCPTStudy(runner)
+			if err != nil {
+				return err
+			}
+			show(f, "")
+			return nil
+		})
 	}
 	if want(*secs, "9.2.3") {
-		section(func() {
-			f := experiments.RunWdStudy(runner)
-			fmt.Println(f)
-			saveCSV("wd_study", f)
+		section(func() error {
+			f, err := experiments.RunWdStudy(runner)
+			if err != nil {
+				return err
+			}
+			show(f, "wd_study")
+			return nil
 		})
 	}
 	if want(*secs, "9.2.4") {
-		section(func() { fmt.Println(experiments.HardwareTable()) })
+		section(func() error {
+			fmt.Println(experiments.HardwareTable())
+			return nil
+		})
 	}
 
+	if failed {
+		os.Exit(1)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/trace"
+)
+
+// deadlockScript builds a two-core workload that stops retiring: core 0
+// spins on a barrier that core 1 (which halts immediately) never reaches.
+func deadlockScript() *trace.Script {
+	return &trace.Script{
+		ScriptName: "deadlock",
+		NumCores:   2,
+		Insts: [][]isa.Inst{
+			{{Op: isa.Barrier}},
+			{},
+		},
+		Loop: true,
+	}
+}
+
+// TestRunUntilDeadlockBackstop checks the progress-window backstop: a
+// workload that stops retiring must return an error instead of hanging.
+func TestRunUntilDeadlockBackstop(t *testing.T) {
+	sys, err := New(arch.PaperConfig(2), defense.Policy{Scheme: defense.Unsafe}, deadlockScript(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(0, 1_000)
+	if err == nil {
+		t.Fatal("deadlocked workload returned no error")
+	}
+	if !strings.Contains(err.Error(), "no retirement progress") {
+		t.Fatalf("error = %v, want progress-window backstop", err)
+	}
+}

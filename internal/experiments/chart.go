@@ -8,6 +8,13 @@ import (
 	"pinnedloads/internal/defense"
 )
 
+// Charter is implemented by experiment results that have a terminal
+// bar-chart rendering in addition to their String table; cmd/plbench
+// type-switches on it when -chart is set.
+type Charter interface {
+	Chart() string
+}
+
 // barWidth is the maximum bar length in characters.
 const barWidth = 48
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -9,10 +10,9 @@ import (
 	"pinnedloads/internal/defense"
 )
 
-// WriteCSV saves an experiment's data as a CSV file under dir, returning
-// the written path. It dispatches on the experiment type; unsupported
-// types return an error.
-func WriteCSV(dir string, name string, result any) (string, error) {
+// csvRows flattens an experiment's data into CSV records. It dispatches on
+// the experiment type; unsupported types return an error.
+func csvRows(result any) ([][]string, error) {
 	var rows [][]string
 	switch f := result.(type) {
 	case *Figure1:
@@ -58,22 +58,44 @@ func WriteCSV(dir string, name string, result any) (string, error) {
 				fmt.Sprintf("%.2f", r.Wd2Percent), fmt.Sprintf("%.2f", r.Wd1Percent)})
 		}
 	default:
-		return "", fmt.Errorf("experiments: no CSV writer for %T", result)
+		return nil, fmt.Errorf("experiments: no CSV writer for %T", result)
 	}
+	return rows, nil
+}
 
+// MarshalCSV encodes an experiment's data as CSV bytes. The determinism
+// tests compare these bytes across worker counts, so the encoding must be
+// a pure function of the experiment data.
+func MarshalCSV(result any) ([]byte, error) {
+	rows, err := csvRows(result)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.WriteAll(rows); err != nil {
+		return nil, err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteCSV saves an experiment's data as a CSV file under dir, returning
+// the written path.
+func WriteCSV(dir string, name string, result any) (string, error) {
+	data, err := MarshalCSV(result)
+	if err != nil {
+		return "", err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, name+".csv")
-	file, err := os.Create(path)
-	if err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return "", err
 	}
-	defer file.Close()
-	w := csv.NewWriter(file)
-	if err := w.WriteAll(rows); err != nil {
-		return "", err
-	}
-	w.Flush()
-	return path, w.Error()
+	return path, nil
 }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// firstDiff returns the first line where a and b disagree, for readable
+// failure messages on multi-hundred-line tables.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return al[i] + "\n!=\n" + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+// figure7Snapshot runs the Figure 7 sweep with the given worker count and
+// returns its rendered table and CSV encoding.
+func figure7Snapshot(t *testing.T, p Params, workers int) (string, []byte) {
+	t.Helper()
+	r := NewRunner(p)
+	r.Workers = workers
+	f, err := RunCPIFigure(r, "Figure 7 (SPEC17)", "SPEC17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.String(), data
+}
+
+// TestFigure7Determinism proves the headline guarantee of the parallel
+// runner: Workers=1 and Workers=8 produce byte-identical tables and CSV
+// output, and repeating the same-seed parallel run reproduces them again.
+func TestFigure7Determinism(t *testing.T) {
+	p := QuickParams()
+	if testing.Short() {
+		// The quick sizing costs ~7s per sweep; a reduced interval
+		// exercises exactly the same machinery.
+		p = Params{Warmup: 300, Measure: 1500, Seed: 1}
+	}
+	if raceEnabled {
+		p = Params{Warmup: 150, Measure: 600, Seed: 1}
+	}
+	seqTab, seqCSV := figure7Snapshot(t, p, 1)
+	parTab, parCSV := figure7Snapshot(t, p, 8)
+	if seqTab != parTab {
+		t.Fatalf("Workers=1 and Workers=8 tables differ:\n%s", firstDiff(seqTab, parTab))
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Fatal("Workers=1 and Workers=8 CSV outputs differ")
+	}
+	againTab, againCSV := figure7Snapshot(t, p, 8)
+	if parTab != againTab {
+		t.Fatalf("repeated same-seed parallel runs differ:\n%s", firstDiff(parTab, againTab))
+	}
+	if !bytes.Equal(parCSV, againCSV) {
+		t.Fatal("repeated same-seed parallel runs differ in CSV output")
+	}
+}
+
+// TestFigure1DeterminismTiny covers the multi-suite stacked study at a
+// tiny sizing: the parallel run must reproduce the sequential tables.
+func TestFigure1DeterminismTiny(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("multi-core suites are slow; TestFigure7Determinism covers the guarantee")
+	}
+	p := Params{Warmup: 150, Measure: 800, Seed: 1}
+	render := func(workers int) string {
+		r := NewRunner(p)
+		r.Workers = workers
+		f, err := RunFigure1(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.String()
+	}
+	if seq, par := render(1), render(8); seq != par {
+		t.Fatalf("Figure 1 differs across worker counts:\n%s", firstDiff(seq, par))
+	}
+}

@@ -5,12 +5,27 @@
 // the network traffic analysis (Section 9.1.3), and the hardware structure
 // studies (Sections 9.2.1-9.2.4). Each experiment returns a renderable
 // result; cmd/plbench and the bench_test.go harness drive them.
+//
+// Experiments execute in two phases. First they enumerate their complete
+// run set — every (benchmark, policy, config) simulation they will need —
+// and hand it to Runner.runAll, which deduplicates the set by memoization
+// key and executes it on a pool of Workers goroutines. Then they render:
+// the same run calls are replayed sequentially and resolve as memo hits.
+// A singleflight entry per key guarantees each simulation executes exactly
+// once even when concurrent experiments request overlapping keys (every
+// figure normalizes against the same Unsafe baselines), and parallel
+// execution is bit-identical to sequential execution because each
+// simulation is a deterministic function of its key and parameters.
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pinnedloads/internal/arch"
 	"pinnedloads/internal/core"
@@ -42,13 +57,57 @@ type runKey struct {
 	cfgTag  string
 }
 
+// runReq names one simulation an experiment needs: the workload, the
+// defense policy, and an optional config override identified by cfgTag.
+// The tag is part of the memoization key, so distinct configurations must
+// carry distinct tags (and the default config the empty tag).
+type runReq struct {
+	bench  trace.Source
+	pol    defense.Policy
+	cfg    *arch.Config
+	cfgTag string
+}
+
+// key returns the request's memoization key.
+func (q runReq) key() runKey {
+	pol := normalizePolicy(q.pol)
+	return runKey{q.bench.Name(), pol.Scheme, pol.Variant, pol.Conds, q.cfgTag}
+}
+
+// normalizePolicy folds a full-Comprehensive condition override into the
+// plain Comp variant; normalizing lets the Figure 1/9 mask sweeps reuse
+// the Figure 7/8 runs.
+func normalizePolicy(pol defense.Policy) defense.Policy {
+	if pol.Conds == defense.CondsComprehensive && pol.Variant == defense.Comp {
+		pol.Conds = 0
+	}
+	return pol
+}
+
 // Runner executes simulations with memoization so experiments can share
-// baselines (every figure normalizes against the same Unsafe runs).
+// baselines. run is safe for concurrent use; runAll spreads a request set
+// over a worker pool. The zero Workers value uses every available CPU.
 type Runner struct {
-	P     Params
-	cache map[runKey]*runOut
+	P Params
+	// Workers bounds how many simulations execute concurrently in
+	// runAll; 0 (or negative) means runtime.GOMAXPROCS(0).
+	Workers int
 	// Progress, when non-nil, receives a line per completed simulation.
+	// Lines are delivered in deterministic enumeration order regardless
+	// of worker interleaving, and never concurrently.
 	Progress func(string)
+
+	mu    sync.Mutex
+	cache map[runKey]*flight
+	sims  atomic.Int64
+}
+
+// flight is a singleflight cache slot: the first requester of a key runs
+// the simulation; later requesters block on done and share the result.
+type flight struct {
+	done chan struct{}
+	out  *runOut
+	err  error
 }
 
 // hwStats is the small per-core hardware-structure summary extracted from
@@ -73,38 +132,67 @@ type runOut struct {
 
 // NewRunner returns a Runner with the given parameters.
 func NewRunner(p Params) *Runner {
-	return &Runner{P: p, cache: make(map[runKey]*runOut)}
+	return &Runner{P: p, cache: make(map[runKey]*flight)}
 }
 
-// run executes (or recalls) one simulation of bench under the policy.
-func (r *Runner) run(bench *trace.Profile, pol defense.Policy, cfg *arch.Config, cfgTag string) *runOut {
-	// A full-Comprehensive condition override is semantically the plain
-	// Comp variant; normalizing lets the Figure 1/9 mask sweeps reuse the
-	// Figure 7/8 runs.
-	if pol.Conds == defense.CondsComprehensive && pol.Variant == defense.Comp {
-		pol.Conds = 0
+// Simulations returns how many simulations actually executed (memo hits
+// excluded); tests use it to assert singleflight deduplication.
+func (r *Runner) Simulations() int64 { return r.sims.Load() }
+
+// run executes (or recalls) one simulation of bench under the policy. It
+// is safe for concurrent use: the first caller for a key simulates, every
+// other caller blocks until that simulation finishes and shares its
+// result. Failures are returned as errors, never panics.
+func (r *Runner) run(bench trace.Source, pol defense.Policy, cfg *arch.Config, cfgTag string) (*runOut, error) {
+	pol = normalizePolicy(pol)
+	key := runKey{bench.Name(), pol.Scheme, pol.Variant, pol.Conds, cfgTag}
+	r.mu.Lock()
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.out, f.err
 	}
-	key := runKey{bench.BenchName, pol.Scheme, pol.Variant, pol.Conds, cfgTag}
-	if out, ok := r.cache[key]; ok {
-		return out
-	}
+	f := &flight{done: make(chan struct{})}
+	r.cache[key] = f
+	r.mu.Unlock()
+	f.out, f.err = r.simulate(bench, pol, cfg)
+	close(f.done)
+	return f.out, f.err
+}
+
+// get resolves a request through the memo cache.
+func (r *Runner) get(q runReq) (*runOut, error) {
+	return r.run(q.bench, q.pol, q.cfg, q.cfgTag)
+}
+
+// simulate executes one simulation synchronously in the calling
+// goroutine. The counters and hardware summaries are snapshotted before
+// returning, so no *core.System (or pointer into one) ever escapes the
+// worker that ran it. A panic anywhere inside the simulator is recovered
+// into an error so one broken run cannot take down a worker pool.
+func (r *Runner) simulate(bench trace.Source, pol defense.Policy, cfg *arch.Config) (out *runOut, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("experiments: %s %s: panic: %v", bench.Name(), pol, p)
+		}
+	}()
 	c := arch.PaperConfig(bench.Cores())
 	if cfg != nil {
 		c = *cfg
 	}
 	sys, err := core.New(c, pol, bench, r.P.Seed)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s %s: %v", bench.BenchName, pol, err))
+		return nil, fmt.Errorf("experiments: %s %s: %w", bench.Name(), pol, err)
 	}
 	res, err := sys.Run(r.P.Warmup, r.P.Measure)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s %s: %v", bench.BenchName, pol, err))
+		return nil, fmt.Errorf("experiments: %s %s: %w", bench.Name(), pol, err)
 	}
 	// Deep-copy the counters: res.Counters points into the System, and
 	// retaining it would keep every finished run's caches alive.
 	cnt := &stats.Counters{}
 	cnt.Merge(res.Counters)
-	out := &runOut{cpi: res.CPI, count: cnt}
+	out = &runOut{cpi: res.CPI, count: cnt}
 	for i := 0; i < c.Cores; i++ {
 		var hs hwStats
 		if l1, dir := sys.Core(i).CSTs(); l1 != nil {
@@ -122,22 +210,120 @@ func (r *Runner) run(bench *trace.Profile, pol defense.Policy, cfg *arch.Config,
 		}
 		out.hw = append(out.hw, hs)
 	}
-	r.cache[key] = out
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("%-16s %-14s CPI=%.3f", bench.BenchName, pol, res.CPI))
+	r.sims.Add(1)
+	return out, nil
+}
+
+// runAll executes a request set on the worker pool: it deduplicates the
+// set by memoization key (preserving first-occurrence order), spreads the
+// unique requests over Workers goroutines, and delivers Progress lines in
+// enumeration order. The pool always drains — a failed simulation never
+// wedges it — and every failure is reported, joined into one error.
+func (r *Runner) runAll(reqs []runReq) error {
+	seen := make(map[runKey]bool, len(reqs))
+	var unique []runReq
+	for _, q := range reqs {
+		if k := q.key(); !seen[k] {
+			seen[k] = true
+			unique = append(unique, q)
+		}
 	}
-	return out
+	if len(unique) == 0 {
+		return nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(unique) {
+		workers = len(unique)
+	}
+
+	// Completed requests are flushed to Progress strictly in slot order:
+	// a worker finishing slot i may flush slots [next, i] once every
+	// earlier slot is done. Workers ahead of the flush frontier park
+	// their line and move on.
+	type slot struct {
+		line string
+		err  error
+		done bool
+	}
+	slots := make([]slot, len(unique))
+	var (
+		pmu  sync.Mutex
+		next int
+	)
+	finish := func(i int, line string, err error) {
+		pmu.Lock()
+		defer pmu.Unlock()
+		slots[i] = slot{line: line, err: err, done: true}
+		for next < len(slots) && slots[next].done {
+			if r.Progress != nil && slots[next].line != "" {
+				r.Progress(slots[next].line)
+			}
+			next++
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := unique[i]
+				out, err := r.get(q)
+				var line string
+				if err == nil {
+					line = fmt.Sprintf("%-16s %-14s CPI=%.3f",
+						q.bench.Name(), normalizePolicy(q.pol), out.cpi)
+				}
+				finish(i, line, err)
+			}
+		}()
+	}
+	for i := range unique {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var errs []error
+	for _, s := range slots {
+		if s.err != nil {
+			errs = append(errs, s.err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // unsafeCPI returns the Unsafe-baseline CPI for the benchmark.
-func (r *Runner) unsafeCPI(bench *trace.Profile) float64 {
-	return r.run(bench, defense.Policy{Scheme: defense.Unsafe}, nil, "").cpi
+func (r *Runner) unsafeCPI(bench trace.Source) (float64, error) {
+	out, err := r.run(bench, defense.Policy{Scheme: defense.Unsafe}, nil, "")
+	if err != nil {
+		return 0, err
+	}
+	return out.cpi, nil
 }
 
 // normalized returns the benchmark's CPI under the policy, normalized to
 // the Unsafe baseline.
-func (r *Runner) normalized(bench *trace.Profile, pol defense.Policy) float64 {
-	return r.run(bench, pol, nil, "").cpi / r.unsafeCPI(bench)
+func (r *Runner) normalized(bench trace.Source, pol defense.Policy) (float64, error) {
+	out, err := r.run(bench, pol, nil, "")
+	if err != nil {
+		return 0, err
+	}
+	base, err := r.unsafeCPI(bench)
+	if err != nil {
+		return 0, err
+	}
+	return out.cpi / base, nil
+}
+
+// unsafeReq is the baseline request every normalization depends on.
+func unsafeReq(bench trace.Source) runReq {
+	return runReq{bench: bench, pol: defense.Policy{Scheme: defense.Unsafe}}
 }
 
 // table is a simple fixed-width text table builder.

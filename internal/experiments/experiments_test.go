@@ -14,12 +14,24 @@ func tinyParams() Params { return Params{Warmup: 500, Measure: 2500, Seed: 1} }
 func TestRunnerMemoizes(t *testing.T) {
 	r := NewRunner(tinyParams())
 	b := trace.ByName("leela_r")
-	a1 := r.run(b, defense.Policy{Scheme: defense.Unsafe}, nil, "")
-	a2 := r.run(b, defense.Policy{Scheme: defense.Unsafe}, nil, "")
+	a1, err := r.run(b, defense.Policy{Scheme: defense.Unsafe}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.run(b, defense.Policy{Scheme: defense.Unsafe}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a1 != a2 {
 		t.Fatal("identical runs not memoized")
 	}
-	b2 := r.run(b, defense.Policy{Scheme: defense.Fence}, nil, "")
+	if n := r.Simulations(); n != 1 {
+		t.Fatalf("simulations = %d, want 1", n)
+	}
+	b2, err := r.run(b, defense.Policy{Scheme: defense.Fence}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b2 == a1 {
 		t.Fatal("different policies shared a cache entry")
 	}
@@ -28,7 +40,10 @@ func TestRunnerMemoizes(t *testing.T) {
 func TestNormalized(t *testing.T) {
 	r := NewRunner(tinyParams())
 	b := trace.ByName("leela_r")
-	n := r.normalized(b, defense.Policy{Scheme: defense.Fence, Variant: defense.Comp})
+	n, err := r.normalized(b, defense.Policy{Scheme: defense.Fence, Variant: defense.Comp})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n <= 1 {
 		t.Fatalf("Fence-Comp normalized CPI %.3f <= 1", n)
 	}
@@ -36,7 +51,10 @@ func TestNormalized(t *testing.T) {
 
 func TestFigure2Shape(t *testing.T) {
 	r := NewRunner(tinyParams())
-	f := RunFigure2(r)
+	f, err := RunFigure2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ind := f.CPI["independent"]
 	if !(ind["Unsafe"] < ind["EP"] && ind["EP"] < ind["LP"] && ind["LP"] < ind["Safe(COMP)"]) {
 		t.Fatalf("independent-load ordering violated: %+v", ind)
@@ -58,7 +76,10 @@ func TestCPIFigureSmall(t *testing.T) {
 		t.Skip("long")
 	}
 	r := NewRunner(Params{Warmup: 200, Measure: 1000, Seed: 1})
-	f := RunCPIFigure(r, "Figure 7 (SPEC17)", "SPEC17")
+	f, err := RunCPIFigure(r, "Figure 7 (SPEC17)", "SPEC17")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Benches) != 21 {
 		t.Fatalf("%d benches", len(f.Benches))
 	}

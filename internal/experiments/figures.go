@@ -33,21 +33,37 @@ type Figure1 struct {
 }
 
 // RunFigure1 executes the Figure 1 study.
-func RunFigure1(r *Runner) *Figure1 {
+func RunFigure1(r *Runner) (*Figure1, error) {
 	f := &Figure1{Suites: []string{"SPEC17", "SPLASH2", "PARSEC"}, Overhead: map[string][4]float64{}}
+	var reqs []runReq
+	for _, suite := range f.Suites {
+		for _, b := range suiteBenches(suite) {
+			reqs = append(reqs, unsafeReq(b))
+			for _, cm := range condMasks {
+				reqs = append(reqs, runReq{bench: b, pol: defense.Policy{Scheme: defense.Fence, Conds: cm.Mask}})
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	for _, suite := range f.Suites {
 		var out [4]float64
 		for i, cm := range condMasks {
 			var norms []float64
 			for _, b := range suiteBenches(suite) {
 				pol := defense.Policy{Scheme: defense.Fence, Conds: cm.Mask}
-				norms = append(norms, r.normalized(b, pol))
+				n, err := r.normalized(b, pol)
+				if err != nil {
+					return nil, err
+				}
+				norms = append(norms, n)
 			}
 			out[i] = stats.Overhead(stats.GeoMean(norms))
 		}
 		f.Overhead[suite] = out
 	}
-	return f
+	return f, nil
 }
 
 // String renders the figure as a stacked table.
@@ -77,7 +93,7 @@ type CPIFigure struct {
 }
 
 // RunCPIFigure runs the normalized-CPI sweep over the given suites.
-func RunCPIFigure(r *Runner, title string, suites ...string) *CPIFigure {
+func RunCPIFigure(r *Runner, title string, suites ...string) (*CPIFigure, error) {
 	f := &CPIFigure{
 		Title:   title,
 		Schemes: defense.Schemes(),
@@ -91,6 +107,18 @@ func RunCPIFigure(r *Runner, title string, suites ...string) *CPIFigure {
 	for _, b := range benches {
 		f.Benches = append(f.Benches, b.BenchName)
 	}
+	var reqs []runReq
+	for _, b := range benches {
+		reqs = append(reqs, unsafeReq(b))
+		for _, sch := range f.Schemes {
+			for _, v := range defense.Variants() {
+				reqs = append(reqs, runReq{bench: b, pol: defense.Policy{Scheme: sch, Variant: v}})
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	for _, sch := range f.Schemes {
 		f.Norm[sch] = map[defense.Variant]map[string]float64{}
 		f.GeoMean[sch] = map[defense.Variant]float64{}
@@ -98,7 +126,10 @@ func RunCPIFigure(r *Runner, title string, suites ...string) *CPIFigure {
 			m := map[string]float64{}
 			var norms []float64
 			for _, b := range benches {
-				n := r.normalized(b, defense.Policy{Scheme: sch, Variant: v})
+				n, err := r.normalized(b, defense.Policy{Scheme: sch, Variant: v})
+				if err != nil {
+					return nil, err
+				}
 				m[b.BenchName] = n
 				norms = append(norms, n)
 			}
@@ -106,7 +137,7 @@ func RunCPIFigure(r *Runner, title string, suites ...string) *CPIFigure {
 			f.GeoMean[sch][v] = stats.GeoMean(norms)
 		}
 	}
-	return f
+	return f, nil
 }
 
 // String renders one table per scheme, matching the paper's plot layout.
@@ -149,18 +180,39 @@ type Figure9Row struct {
 	EP    float64 // overhead (%) with Early Pinning
 }
 
+// figure9Groups are the suite groupings of Figure 9.
+var figure9Groups = []struct {
+	name   string
+	suites []string
+}{
+	{"SPEC17", []string{"SPEC17"}},
+	{"Parallel", []string{"SPLASH2", "PARSEC"}},
+}
+
 // RunFigure9 executes the Figure 9 study.
-func RunFigure9(r *Runner) *Figure9 {
-	groups := []struct {
-		name   string
-		suites []string
-	}{
-		{"SPEC17", []string{"SPEC17"}},
-		{"Parallel", []string{"SPLASH2", "PARSEC"}},
+func RunFigure9(r *Runner) (*Figure9, error) {
+	var reqs []runReq
+	for _, sch := range defense.Schemes() {
+		for _, g := range figure9Groups {
+			for _, s := range g.suites {
+				for _, b := range suiteBenches(s) {
+					reqs = append(reqs, unsafeReq(b))
+					for _, cm := range condMasks {
+						reqs = append(reqs, runReq{bench: b, pol: defense.Policy{Scheme: sch, Conds: cm.Mask}})
+					}
+					for _, v := range []defense.Variant{defense.LP, defense.EP} {
+						reqs = append(reqs, runReq{bench: b, pol: defense.Policy{Scheme: sch, Variant: v}})
+					}
+				}
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
 	}
 	f := &Figure9{}
 	for _, sch := range defense.Schemes() {
-		for _, g := range groups {
+		for _, g := range figure9Groups {
 			var benches []*trace.Profile
 			for _, s := range g.suites {
 				benches = append(benches, suiteBenches(s)...)
@@ -169,14 +221,22 @@ func RunFigure9(r *Runner) *Figure9 {
 			for i, cm := range condMasks {
 				var norms []float64
 				for _, b := range benches {
-					norms = append(norms, r.normalized(b, defense.Policy{Scheme: sch, Conds: cm.Mask}))
+					n, err := r.normalized(b, defense.Policy{Scheme: sch, Conds: cm.Mask})
+					if err != nil {
+						return nil, err
+					}
+					norms = append(norms, n)
 				}
 				row.Stack[i] = stats.Overhead(stats.GeoMean(norms))
 			}
 			for _, v := range []defense.Variant{defense.LP, defense.EP} {
 				var norms []float64
 				for _, b := range benches {
-					norms = append(norms, r.normalized(b, defense.Policy{Scheme: sch, Variant: v}))
+					n, err := r.normalized(b, defense.Policy{Scheme: sch, Variant: v})
+					if err != nil {
+						return nil, err
+					}
+					norms = append(norms, n)
 				}
 				o := stats.Overhead(stats.GeoMean(norms))
 				if v == defense.LP {
@@ -188,7 +248,7 @@ func RunFigure9(r *Runner) *Figure9 {
 			f.Rows = append(f.Rows, row)
 		}
 	}
-	return f
+	return f, nil
 }
 
 // String renders the breakdown table.
@@ -231,22 +291,48 @@ func figure2Workload(name string, dep bool) *trace.Profile {
 	return p
 }
 
+// figure2Policies are the configurations of the Figure 2 microbenchmark.
+var figure2Policies = []struct {
+	name string
+	pol  defense.Policy
+}{
+	{"Unsafe", defense.Policy{Scheme: defense.Unsafe}},
+	{"Safe(COMP)", defense.Policy{Scheme: defense.Fence, Variant: defense.Comp}},
+	{"LP", defense.Policy{Scheme: defense.Fence, Variant: defense.LP}},
+	{"EP", defense.Policy{Scheme: defense.Fence, Variant: defense.EP}},
+}
+
 // RunFigure2 executes the microbenchmark study.
-func RunFigure2(r *Runner) *Figure2 {
+func RunFigure2(r *Runner) (*Figure2, error) {
+	workloads := []struct {
+		name  string
+		bench *trace.Profile
+	}{
+		{"independent", figure2Workload("fig2-independent", false)},
+		{"dependent", figure2Workload("fig2-dependent", true)},
+	}
+	var reqs []runReq
+	for _, w := range workloads {
+		for _, pc := range figure2Policies {
+			reqs = append(reqs, runReq{bench: w.bench, pol: pc.pol})
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	f := &Figure2{CPI: map[string]map[string]float64{}}
-	for _, w := range []struct {
-		name string
-		dep  bool
-	}{{"independent", false}, {"dependent", true}} {
-		bench := figure2Workload("fig2-"+w.name, w.dep)
+	for _, w := range workloads {
 		m := map[string]float64{}
-		m["Unsafe"] = r.run(bench, defense.Policy{Scheme: defense.Unsafe}, nil, "").cpi
-		m["Safe(COMP)"] = r.run(bench, defense.Policy{Scheme: defense.Fence, Variant: defense.Comp}, nil, "").cpi
-		m["LP"] = r.run(bench, defense.Policy{Scheme: defense.Fence, Variant: defense.LP}, nil, "").cpi
-		m["EP"] = r.run(bench, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil, "").cpi
+		for _, pc := range figure2Policies {
+			out, err := r.run(w.bench, pc.pol, nil, "")
+			if err != nil {
+				return nil, err
+			}
+			m[pc.name] = out.cpi
+		}
 		f.CPI[w.name] = m
 	}
-	return f
+	return f, nil
 }
 
 // String renders the microbenchmark CPIs.

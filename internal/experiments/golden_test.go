@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pinnedloads/internal/defense"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/name, rewriting it under
+// -update. Goldens pin the exact bytes of the paper artifacts (tables and
+// CSV files) so rendering refactors cannot silently change them.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// The fixtures below are fixed synthetic results — no simulation runs —
+// so the goldens only change when a renderer changes.
+
+func goldenFigure1() *Figure1 {
+	return &Figure1{
+		Suites: []string{"SPEC17", "SPLASH2"},
+		Overhead: map[string][4]float64{
+			"SPEC17":  {70.25, 110.5, 120, 250.75},
+			"SPLASH2": {60, 90.125, 100.5, 200},
+		},
+	}
+}
+
+func goldenCPIFigure() *CPIFigure {
+	return &CPIFigure{
+		Title:   "Figure 7 (golden)",
+		Benches: []string{"alpha", "beta"},
+		Schemes: []defense.Scheme{defense.Fence, defense.DOM},
+		Norm: map[defense.Scheme]map[defense.Variant]map[string]float64{
+			defense.Fence: {
+				defense.Comp:    {"alpha": 2.5, "beta": 3.125},
+				defense.LP:      {"alpha": 1.875, "beta": 2.25},
+				defense.EP:      {"alpha": 1.5, "beta": 1.75},
+				defense.Spectre: {"alpha": 1.25, "beta": 1.375},
+			},
+			defense.DOM: {
+				defense.Comp:    {"alpha": 1.5, "beta": 1.625},
+				defense.LP:      {"alpha": 1.25, "beta": 1.375},
+				defense.EP:      {"alpha": 1.125, "beta": 1.1875},
+				defense.Spectre: {"alpha": 1.0625, "beta": 1.09375},
+			},
+		},
+		GeoMean: map[defense.Scheme]map[defense.Variant]float64{
+			defense.Fence: {defense.Comp: 2.8125, defense.LP: 2.0625,
+				defense.EP: 1.625, defense.Spectre: 1.3125},
+			defense.DOM: {defense.Comp: 1.5625, defense.LP: 1.3125,
+				defense.EP: 1.15625, defense.Spectre: 1.078125},
+		},
+	}
+}
+
+func goldenFigure9() *Figure9 {
+	return &Figure9{Rows: []Figure9Row{
+		{Scheme: defense.Fence, Group: "SPEC17",
+			Stack: [4]float64{70, 110, 120, 250}, LP: 160.5, EP: 135.25},
+		{Scheme: defense.STT, Group: "Parallel",
+			Stack: [4]float64{20, 30, 35, 60}, LP: 45.125, EP: 40},
+	}}
+}
+
+func goldenFigure2() *Figure2 {
+	return &Figure2{CPI: map[string]map[string]float64{
+		"independent": {"Unsafe": 0.5625, "Safe(COMP)": 3.5, "LP": 2.0625, "EP": 1.25},
+		"dependent":   {"Unsafe": 4.75, "Safe(COMP)": 4.8125, "LP": 4.8125, "EP": 4.8125},
+	}}
+}
+
+func goldenTraffic() *Traffic {
+	return &Traffic{Rows: []TrafficRow{
+		{Scheme: defense.Fence, Variant: defense.LP,
+			MaxWrites: 14.8125, MeanWrites: 5.25, MaxEvictions: 0.05, MeanEvictions: 0.0125,
+			MaxBench: "ocean"},
+		{Scheme: defense.DOM, Variant: defense.EP,
+			MaxWrites: 3.5, MeanWrites: 1.25, MaxEvictions: 0.0125, MeanEvictions: 0.003125,
+			MaxBench: "fft"},
+	}}
+}
+
+func goldenWdStudy() *WdStudy {
+	return &WdStudy{Rows: []WdRow{
+		{Scheme: defense.Fence, Group: "SPEC17", Wd2Percent: 51.3125, Wd1Percent: 54.75},
+		{Scheme: defense.DOM, Group: "Parallel", Wd2Percent: 7.625, Wd1Percent: 8},
+	}}
+}
+
+func goldenCSTStudy() *CSTStudy {
+	return &CSTStudy{
+		L1FP:          map[string]float64{"SPEC17": 0.000125, "SPLASH2": 0.0000625, "PARSEC": 0.00025},
+		DirFP:         map[string]float64{"SPEC17": 0.003125, "SPLASH2": 0.000125, "PARSEC": 0.0025},
+		OverheadDelta: map[string]float64{"SPEC17": 3.5625, "SPLASH2": 1.25, "PARSEC": 2.125},
+	}
+}
+
+func goldenCPTStudy() *CPTStudy {
+	return &CPTStudy{MeanOccupancy: 1.0625, MaxOccupancy: 6, OverflowRate: 0.0000625, Inserts: 123456}
+}
+
+// TestGoldenTableRenderer pins the fixed-width table builder's output.
+func TestGoldenTableRenderer(t *testing.T) {
+	tb := &table{header: []string{"Name", "Value", "Notes"}}
+	tb.add("short", "1.000", "x")
+	tb.add("a-much-longer-name", "2.500", "widens column")
+	tb.add("mid", "10.125", "")
+	checkGolden(t, "table.golden", []byte(tb.String()))
+}
+
+// TestGoldenTables pins every experiment's text rendering.
+func TestGoldenTables(t *testing.T) {
+	cases := []struct {
+		name   string
+		result interface{ String() string }
+	}{
+		{"figure1_table.golden", goldenFigure1()},
+		{"cpifigure_table.golden", goldenCPIFigure()},
+		{"figure9_table.golden", goldenFigure9()},
+		{"figure2_table.golden", goldenFigure2()},
+		{"traffic_table.golden", goldenTraffic()},
+		{"wdstudy_table.golden", goldenWdStudy()},
+		{"cststudy_table.golden", goldenCSTStudy()},
+		{"cptstudy_table.golden", goldenCPTStudy()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkGolden(t, c.name, []byte(c.result.String()))
+		})
+	}
+}
+
+// TestGoldenCSV pins the CSV encoding of every CSV-supported experiment.
+func TestGoldenCSV(t *testing.T) {
+	cases := []struct {
+		name   string
+		result any
+	}{
+		{"figure1.csv.golden", goldenFigure1()},
+		{"cpifigure.csv.golden", goldenCPIFigure()},
+		{"figure9.csv.golden", goldenFigure9()},
+		{"traffic.csv.golden", goldenTraffic()},
+		{"wdstudy.csv.golden", goldenWdStudy()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data, err := MarshalCSV(c.result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.name, data)
+		})
+	}
+}

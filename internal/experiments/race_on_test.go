@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// expensive determinism tests shrink their simulation sizing under -race.
+const raceEnabled = true

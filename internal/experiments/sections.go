@@ -31,15 +31,29 @@ type TrafficRow struct {
 }
 
 // RunTraffic executes the traffic study over SPLASH2 and PARSEC.
-func RunTraffic(r *Runner) *Traffic {
+func RunTraffic(r *Runner) (*Traffic, error) {
 	benches := append(suiteBenches("SPLASH2"), suiteBenches("PARSEC")...)
+	var reqs []runReq
+	for _, sch := range defense.Schemes() {
+		for _, v := range []defense.Variant{defense.LP, defense.EP} {
+			for _, b := range benches {
+				reqs = append(reqs, runReq{bench: b, pol: defense.Policy{Scheme: sch, Variant: v}})
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	out := &Traffic{}
 	for _, sch := range defense.Schemes() {
 		for _, v := range []defense.Variant{defense.LP, defense.EP} {
 			row := TrafficRow{Scheme: sch, Variant: v}
 			var wSum, eSum float64
 			for _, b := range benches {
-				res := r.run(b, defense.Policy{Scheme: sch, Variant: v}, nil, "")
+				res, err := r.run(b, defense.Policy{Scheme: sch, Variant: v}, nil, "")
+				if err != nil {
+					return nil, err
+				}
 				insts := float64(res.count.Get("retired"))
 				if insts == 0 {
 					continue
@@ -62,7 +76,7 @@ func RunTraffic(r *Runner) *Traffic {
 			out.Rows = append(out.Rows, row)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // String renders the traffic table.
@@ -90,24 +104,52 @@ type CSTStudy struct {
 	OverheadDelta map[string]float64
 }
 
+// cstReqs returns the pair of requests the CST study runs per benchmark:
+// the default (finite) CST configuration and the infinite-CST variant.
+// Both phases of RunCSTStudy go through this helper so the enumerated and
+// rendered keys cannot drift apart.
+func cstReqs(b *trace.Profile) (finite, infinite runReq) {
+	pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
+	cfg := arch.PaperConfig(b.Cores())
+	inf := cfg
+	inf.InfiniteCST = true
+	finite = runReq{bench: b, pol: pol, cfg: &cfg, cfgTag: "cst-default"}
+	infinite = runReq{bench: b, pol: pol, cfg: &inf, cfgTag: "cst-infinite"}
+	return finite, infinite
+}
+
 // RunCSTStudy executes the CST sensitivity study. To bound runtime it uses
 // the Fence scheme (the most CST-pressured) over a sample of benchmarks.
-func RunCSTStudy(r *Runner) *CSTStudy {
+func RunCSTStudy(r *Runner) (*CSTStudy, error) {
+	suites := []string{"SPEC17", "SPLASH2", "PARSEC"}
+	var reqs []runReq
+	for _, suite := range suites {
+		for _, b := range suiteBenches(suite) {
+			finite, infinite := cstReqs(b)
+			reqs = append(reqs, finite, infinite)
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	out := &CSTStudy{
 		L1FP: map[string]float64{}, DirFP: map[string]float64{},
 		OverheadDelta: map[string]float64{},
 	}
-	for _, suite := range []string{"SPEC17", "SPLASH2", "PARSEC"} {
+	for _, suite := range suites {
 		var l1Sum, dirSum float64
 		var n int
 		var ratio []float64
 		for _, b := range suiteBenches(suite) {
-			cfg := arch.PaperConfig(b.Cores())
-			pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
-			finite := r.run(b, pol, &cfg, "cst-default")
-			inf := cfg
-			inf.InfiniteCST = true
-			infinite := r.run(b, pol, &inf, "cst-infinite")
+			finiteReq, infiniteReq := cstReqs(b)
+			finite, err := r.get(finiteReq)
+			if err != nil {
+				return nil, err
+			}
+			infinite, err := r.get(infiniteReq)
+			if err != nil {
+				return nil, err
+			}
 			ratio = append(ratio, finite.cpi/infinite.cpi)
 			for _, hs := range finite.hw {
 				if !hs.hasCST {
@@ -124,7 +166,7 @@ func RunCSTStudy(r *Runner) *CSTStudy {
 		}
 		out.OverheadDelta[suite] = (stats.GeoMean(ratio) - 1) * 100
 	}
-	return out
+	return out, nil
 }
 
 // String renders the CST study.
@@ -147,20 +189,40 @@ type CPTStudy struct {
 	Inserts       uint64
 }
 
+// cptReqs returns the pair of requests the CPT study runs per benchmark:
+// an ideal (unbounded) CPT and the default 4-entry configuration.
+func cptReqs(b *trace.Profile) (ideal, deflt runReq) {
+	pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
+	cfg := arch.PaperConfig(b.Cores())
+	cfg.CPTEntries = 0
+	ideal = runReq{bench: b, pol: pol, cfg: &cfg, cfgTag: "cpt-ideal"}
+	deflt = runReq{bench: b, pol: pol}
+	return ideal, deflt
+}
+
 // RunCPTStudy executes the CPT study over the parallel suites with the
 // write-sharing-heavy benchmarks.
-func RunCPTStudy(r *Runner) *CPTStudy {
+func RunCPTStudy(r *Runner) (*CPTStudy, error) {
 	benches := append(suiteBenches("SPLASH2"), suiteBenches("PARSEC")...)
+	var reqs []runReq
+	for _, b := range benches {
+		ideal, deflt := cptReqs(b)
+		reqs = append(reqs, ideal, deflt)
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	out := &CPTStudy{}
 	var occSum float64
 	var occN int
 	var overflows, inserts uint64
 	for _, b := range benches {
+		idealReq, defltReq := cptReqs(b)
 		// Ideal CPT: unbounded capacity.
-		ideal := arch.PaperConfig(b.Cores())
-		ideal.CPTEntries = 0
-		pol := defense.Policy{Scheme: defense.Fence, Variant: defense.EP}
-		res := r.run(b, pol, &ideal, "cpt-ideal")
+		res, err := r.get(idealReq)
+		if err != nil {
+			return nil, err
+		}
 		for _, hs := range res.hw {
 			if !hs.hasCPT || hs.cptSamples == 0 {
 				continue
@@ -172,7 +234,10 @@ func RunCPTStudy(r *Runner) *CPTStudy {
 			}
 		}
 		// Default CPT: measure overflow rate.
-		def := r.run(b, pol, nil, "")
+		def, err := r.get(defltReq)
+		if err != nil {
+			return nil, err
+		}
 		for _, hs := range def.hw {
 			if !hs.hasCPT {
 				continue
@@ -188,7 +253,7 @@ func RunCPTStudy(r *Runner) *CPTStudy {
 	if inserts > 0 {
 		out.OverflowRate = float64(overflows) / float64(inserts)
 	}
-	return out
+	return out, nil
 }
 
 // String renders the CPT study.
@@ -216,12 +281,38 @@ type WdRow struct {
 	Wd1Percent float64
 }
 
+// wdReq returns the request for one benchmark at the given reservation
+// size. Wd=2 is the default configuration, so it reuses the Figure 7/8
+// runs (empty tag); Wd=1 carries its own config and tag.
+func wdReq(b *trace.Profile, sch defense.Scheme, wd int) runReq {
+	pol := defense.Policy{Scheme: sch, Variant: defense.EP}
+	if wd == 2 {
+		return runReq{bench: b, pol: pol}
+	}
+	cfg := arch.PaperConfig(b.Cores())
+	cfg.Wd = wd
+	return runReq{bench: b, pol: pol, cfg: &cfg, cfgTag: fmt.Sprintf("wd%d", wd)}
+}
+
 // RunWdStudy executes the Wd sensitivity study.
-func RunWdStudy(r *Runner) *WdStudy {
+func RunWdStudy(r *Runner) (*WdStudy, error) {
 	groups := []struct {
 		name   string
 		suites []string
 	}{{"SPEC17", []string{"SPEC17"}}, {"Parallel", []string{"SPLASH2", "PARSEC"}}}
+	var reqs []runReq
+	for _, sch := range defense.Schemes() {
+		for _, g := range groups {
+			for _, s := range g.suites {
+				for _, b := range suiteBenches(s) {
+					reqs = append(reqs, unsafeReq(b), wdReq(b, sch, 2), wdReq(b, sch, 1))
+				}
+			}
+		}
+	}
+	if err := r.runAll(reqs); err != nil {
+		return nil, err
+	}
 	out := &WdStudy{}
 	for _, sch := range defense.Schemes() {
 		for _, g := range groups {
@@ -233,17 +324,15 @@ func RunWdStudy(r *Runner) *WdStudy {
 			for _, wd := range []int{2, 1} {
 				var norms []float64
 				for _, b := range benches {
-					pol := defense.Policy{Scheme: sch, Variant: defense.EP}
-					var cpi float64
-					if wd == 2 {
-						// Wd=2 is the default: reuse the Figure 7/8 runs.
-						cpi = r.run(b, pol, nil, "").cpi
-					} else {
-						cfg := arch.PaperConfig(b.Cores())
-						cfg.Wd = wd
-						cpi = r.run(b, pol, &cfg, fmt.Sprintf("wd%d", wd)).cpi
+					res, err := r.get(wdReq(b, sch, wd))
+					if err != nil {
+						return nil, err
 					}
-					norms = append(norms, cpi/r.unsafeCPI(b))
+					base, err := r.unsafeCPI(b)
+					if err != nil {
+						return nil, err
+					}
+					norms = append(norms, res.cpi/base)
 				}
 				o := stats.Overhead(stats.GeoMean(norms))
 				if wd == 2 {
@@ -255,7 +344,7 @@ func RunWdStudy(r *Runner) *WdStudy {
 			out.Rows = append(out.Rows, row)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // String renders the Wd study.
