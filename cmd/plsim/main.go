@@ -4,6 +4,9 @@
 //
 //	plsim -bench mcf_r -scheme fence -variant ep
 //	plsim -bench fft -scheme stt -variant comp -measure 50000 -counters
+//	plsim -bench ocean_cp -variant ep -trace-out run.json      # open in Perfetto
+//	plsim -bench gcc_r -metrics-interval 5000                  # periodic snapshots
+//	plsim -cpuprofile cpu.pprof -memprofile mem.pprof ...
 //	plsim -list
 package main
 
@@ -12,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -30,8 +35,39 @@ func main() {
 		counters = flag.Bool("counters", false, "dump all event counters")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		list     = flag.Bool("list", false, "list available benchmark proxies")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+		traceBuf   = flag.Int("trace-buf", 1<<18, "event ring-buffer capacity for -trace-out (oldest events drop when full)")
+		metricsInt = flag.Int64("metrics-interval", 0, "capture a counter snapshot every N cycles (0 = off)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("%v", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, suite := range []string{"SPEC17", "SPLASH2", "PARSEC"} {
@@ -65,10 +101,32 @@ func main() {
 	spec := pinnedloads.RunSpec{
 		Benchmark: *bench, Scheme: sch, Variant: v,
 		Warmup: *warmup, Measure: *measure, Seed: *seed,
+		MetricsInterval: *metricsInt,
+	}
+	if *traceOut != "" {
+		spec.TraceBuffer = *traceBuf
 	}
 	res, err := pinnedloads.Run(spec)
 	if err != nil {
 		fatal("%v", err)
+	}
+	cores := 1
+	if p := pinnedloads.Benchmark(*bench); p != nil && p.Cores() > cores {
+		cores = p.Cores()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pinnedloads.WriteChromeTrace(f, res.Events, cores); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events, %d dropped); open in chrome://tracing or https://ui.perfetto.dev\n",
+			*traceOut, len(res.Events), res.EventsLost)
 	}
 	if *asJSON {
 		out := map[string]any{
@@ -85,6 +143,9 @@ func main() {
 				cm[name] = res.Counters.Get(name)
 			}
 			out["counters"] = cm
+		}
+		if len(res.Snapshots) > 0 {
+			out["snapshots"] = res.Snapshots
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -108,6 +169,11 @@ func main() {
 	}
 	if *counters {
 		fmt.Print(res.Counters.String())
+	}
+	for _, snap := range res.Snapshots {
+		fmt.Printf("@%d retired=+%d squashed=+%d l1.misses=+%d pins=+%d defers=+%d\n",
+			snap.Cycle, snap.Delta["retired"], snap.Delta["squashed_insts"],
+			snap.Delta["l1.misses"], snap.Delta["pin.pinned"], snap.Delta["coh.defers"])
 	}
 }
 

@@ -3,6 +3,7 @@ package coherence
 import (
 	"pinnedloads/internal/arch"
 	"pinnedloads/internal/cache"
+	"pinnedloads/internal/obs"
 	"pinnedloads/internal/stats"
 )
 
@@ -84,6 +85,13 @@ type L1 struct {
 	count *stats.Counters
 	hooks CoreHooks
 
+	// rec receives structured trace events (MSHR allocations, deferred
+	// invalidations); tracing caches rec.Enabled(). now is the cycle the
+	// memory system is currently ticking, for event timestamps.
+	rec     obs.Recorder
+	tracing bool
+	now     int64
+
 	tags *cache.SetAssoc
 	mshr *cache.MSHR
 
@@ -100,6 +108,7 @@ func newL1(id int, cfg *arch.Config, fab *fabric, count *stats.Counters) *L1 {
 		cfg:      cfg,
 		fab:      fab,
 		count:    count,
+		rec:      obs.Nop,
 		tags:     cache.NewSetAssoc(cfg.L1Sets, cfg.L1Ways),
 		mshr:     cache.NewMSHR(cfg.L1MSHRs),
 		acq:      make(map[uint64]*storeTxn),
@@ -110,14 +119,28 @@ func newL1(id int, cfg *arch.Config, fab *fabric, count *stats.Counters) *L1 {
 // SetHooks attaches the owning core's pipeline callbacks.
 func (l *L1) SetHooks(h CoreHooks) { l.hooks = h }
 
+// SetRecorder attaches an event recorder (the owning core forwards its own
+// recorder here so memory-side events share the core's id).
+func (l *L1) SetRecorder(r obs.Recorder) {
+	if r == nil {
+		r = obs.Nop
+	}
+	l.rec = r
+	l.tracing = r.Enabled()
+}
+
 func (l *L1) addr() Addr { return Addr{Idx: l.id} }
 
 func (l *L1) home(line uint64) Addr {
 	return Addr{Dir: true, Idx: l.cfg.LLCSlice(line)}
 }
 
-// newCycle resets per-cycle port accounting.
-func (l *L1) newCycle() { l.portsUsed = 0 }
+// newCycle resets per-cycle port accounting and records the current cycle
+// for event timestamps.
+func (l *L1) newCycle(now int64) {
+	l.portsUsed = 0
+	l.now = now
+}
 
 // AcquirePort consumes one L1 access port for this cycle, reporting whether
 // one was available.
@@ -177,6 +200,9 @@ func (l *L1) Load(token int64, line uint64) LoadResult {
 	}
 	l.mshr.Alloc(line, token, false)
 	l.count.Inc("l1.misses")
+	if l.tracing {
+		l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindMSHRAlloc, Line: line})
+	}
 	l.fab.send(Msg{Kind: GetS, Line: line, Src: l.addr(), Dst: l.home(line)}, 0)
 	return LoadMiss
 }
@@ -266,6 +292,9 @@ func (l *L1) prefetchAfterFill(line uint64) {
 	}
 	l.mshr.Alloc(next, -1, false)
 	l.count.Inc("l1.prefetches")
+	if l.tracing {
+		l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindMSHRAlloc, Line: next, Arg: 1})
+	}
 	l.fab.send(Msg{Kind: GetS, Line: next, Src: l.addr(), Dst: l.home(next)}, 0)
 }
 
@@ -471,6 +500,10 @@ func (l *L1) handleInv(m Msg) {
 	}
 	if l.hooks.PinnedLine(m.Line) {
 		l.count.Inc("coh.defers")
+		if l.tracing {
+			l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindDeferredInval,
+				Line: m.Line, Arg: int64(m.Requestor)})
+		}
 		l.fab.send(Msg{Kind: Defer, Line: m.Line, Src: l.addr(),
 			Dst: Addr{Idx: m.Requestor}}, 0)
 		return
@@ -530,6 +563,10 @@ func (l *L1) handleFwdGetX(m Msg) {
 	req := Addr{Idx: m.Requestor}
 	if l.hooks.PinnedLine(m.Line) {
 		l.count.Inc("coh.defers")
+		if l.tracing {
+			l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindDeferredInval,
+				Line: m.Line, Arg: int64(m.Requestor)})
+		}
 		l.fab.send(Msg{Kind: Defer, Line: m.Line, Src: l.addr(), Dst: req}, 0)
 		return
 	}
@@ -541,6 +578,10 @@ func (l *L1) handleFwdGetX(m Msg) {
 // be evicted from the LLC. Pinned lines deny the recall.
 func (l *L1) handleRecall(m Msg) {
 	if l.hooks.PinnedLine(m.Line) {
+		if l.tracing {
+			l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindDeferredInval,
+				Line: m.Line, Arg: -1})
+		}
 		l.fab.send(Msg{Kind: RecallDefer, Line: m.Line, Src: l.addr(),
 			Dst: m.Src}, 0)
 		return

@@ -51,7 +51,7 @@ func (s *System) Mesh() *mesh.Mesh { return s.mesh }
 // future cycles.
 func (s *System) Tick(cycle int64) {
 	for _, l := range s.l1s {
-		l.newCycle()
+		l.newCycle(cycle)
 	}
 	for _, m := range s.fab.due(cycle) {
 		if m.Dst.Dir {

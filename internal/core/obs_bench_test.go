@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/obs"
+	"pinnedloads/internal/trace"
+)
+
+// benchCycleLoop measures the core cycle loop — the simulator's hot path —
+// with the given recorder attached (nil leaves the obs.Nop default). The
+// TracerOff/TracerOn pair quantifies the instrumentation overhead; the
+// disabled path must stay under 5% (EXPERIMENTS.md records baselines).
+func benchCycleLoop(b *testing.B, rec obs.Recorder) {
+	sys, err := New(arch.PaperConfig(1),
+		defense.Policy{Scheme: defense.Fence, Variant: defense.EP},
+		trace.ByName("gcc_r"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rec != nil {
+		sys.SetRecorder(rec)
+	}
+	for i := 0; i < 2000; i++ { // warm the caches and fill the pipeline
+		sys.cycle++
+		sys.mem.Tick(sys.cycle)
+		sys.cores[0].Tick(sys.cycle)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.cycle++
+		sys.mem.Tick(sys.cycle)
+		sys.cores[0].Tick(sys.cycle)
+	}
+}
+
+func BenchmarkCoreCycleTracerOff(b *testing.B) {
+	benchCycleLoop(b, nil)
+}
+
+func BenchmarkCoreCycleTracerOn(b *testing.B) {
+	benchCycleLoop(b, obs.NewRing(1<<16))
+}

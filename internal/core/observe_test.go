@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/obs"
+	"pinnedloads/internal/xrand"
+)
+
+// TestObservedInvariantsRandomized is a property test over randomized small
+// machine configurations and workload seeds. Two invariant families:
+//
+//  1. Reservation bounds, checked against simulator state every cycle: a
+//     core never pins more distinct lines into one L1 set than L1Ways-1
+//     (one way per set is never pinnable, see pipeline.l1SetRoom), and
+//     under Early Pinning never more than Wd lines into one directory
+//     (slice, set) — the paper Section 5.1.4 space guarantee.
+//
+//  2. VP monotonicity, checked against the recorded event stream: between
+//     squashes, the Visibility Point frontier of a core only moves forward,
+//     each vp_advance event starts exactly where the previous one ended,
+//     and a squash is the only thing that ever moves it back.
+func TestObservedInvariantsRandomized(t *testing.T) {
+	policies := []defense.Policy{
+		{Scheme: defense.Fence, Variant: defense.EP},
+		{Scheme: defense.Fence, Variant: defense.LP},
+		{Scheme: defense.DOM, Variant: defense.EP},
+		{Scheme: defense.STT, Variant: defense.LP},
+	}
+	var totalPins uint64
+	for trial := 0; trial < 5; trial++ {
+		rng := xrand.New(uint64(trial)*48271 + 11)
+		cfg := arch.PaperConfig(2)
+		// Shrink the caches so set pressure is real, within Validate's
+		// constraints (powers of two, Wd*Cores <= LLCWays).
+		cfg.L1Sets = []int{16, 32, 64}[rng.Intn(3)]
+		cfg.L1Ways = []int{4, 8}[rng.Intn(2)]
+		cfg.LLCSets = []int{16, 32}[rng.Intn(2)]
+		cfg.Wd = 1 + rng.Intn(4)
+		cfg.CPTEntries = rng.Intn(5)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: randomized config invalid: %v", trial, err)
+		}
+		w := randomScript(trial)
+		for _, pol := range policies {
+			ring := obs.NewRing(1 << 18)
+			sys, err := New(cfg, pol, w, uint64(trial+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.SetRecorder(ring)
+			for i := 0; i < 6000; i++ {
+				sys.cycle++
+				sys.mem.Tick(sys.cycle)
+				for _, c := range sys.cores {
+					c.Tick(sys.cycle)
+				}
+				for id, c := range sys.cores {
+					if got := c.MaxPinnedPerL1Set(); got > cfg.L1Ways-1 {
+						t.Fatalf("trial %d %s core %d cycle %d: %d pinned lines in one L1 set (limit %d)",
+							trial, pol, id, i, got, cfg.L1Ways-1)
+					}
+					if pol.Variant == defense.EP {
+						if got := c.MaxPinnedPerDirSet(); got > cfg.Wd {
+							t.Fatalf("trial %d %s core %d cycle %d: %d pinned lines in one dir set (Wd=%d)",
+								trial, pol, id, i, got, cfg.Wd)
+						}
+					}
+				}
+			}
+			if d := ring.Dropped(); d != 0 {
+				t.Fatalf("trial %d %s: ring dropped %d events; grow the buffer so the VP check sees everything",
+					trial, pol, d)
+			}
+			// Replay the event stream: the frontier must be continuous and
+			// strictly forward-moving except across squashes.
+			vp := make([]int64, cfg.Cores)
+			for _, ev := range ring.Events() {
+				switch ev.Kind {
+				case obs.KindVPAdvance:
+					if ev.Seq != vp[ev.Core] {
+						t.Fatalf("trial %d %s core %d cycle %d: vp_advance starts at %d, expected frontier %d",
+							trial, pol, ev.Core, ev.Cycle, ev.Seq, vp[ev.Core])
+					}
+					if ev.Arg <= ev.Seq {
+						t.Fatalf("trial %d %s core %d cycle %d: VP moved backwards without a squash (%d -> %d)",
+							trial, pol, ev.Core, ev.Cycle, ev.Seq, ev.Arg)
+					}
+					vp[ev.Core] = ev.Arg
+				case obs.KindSquash:
+					if ev.Seq < vp[ev.Core] {
+						vp[ev.Core] = ev.Seq
+					}
+				}
+			}
+			totalPins += sys.count.Get("pin.pinned")
+		}
+	}
+	if totalPins == 0 {
+		t.Fatal("property test ran without exercising any pinning")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"pinnedloads/internal/arch"
 	"pinnedloads/internal/coherence"
 	"pinnedloads/internal/defense"
+	"pinnedloads/internal/obs"
 	"pinnedloads/internal/pipeline"
 	"pinnedloads/internal/stats"
 	"pinnedloads/internal/trace"
@@ -24,6 +25,10 @@ type System struct {
 	cores  []*pipeline.Core
 	count  stats.Counters
 	cycle  int64
+
+	// sampler, when set, captures periodic counter snapshots; see
+	// SampleEvery. The nil default costs the cycle loop one branch.
+	sampler *obs.Sampler
 }
 
 // progressWindow bounds how long the simulator tolerates zero retirement
@@ -56,6 +61,33 @@ func New(cfg arch.Config, policy defense.Policy, w trace.Source, seed uint64) (*
 	return s, nil
 }
 
+// SetRecorder attaches an event recorder to every core (and, through each
+// core, its L1). Call it before Run; the enabled state is cached.
+func (s *System) SetRecorder(r obs.Recorder) {
+	for _, c := range s.cores {
+		c.SetRecorder(r)
+	}
+}
+
+// SampleEvery arranges for a counter snapshot every interval cycles during
+// Run (plus a final one when the run ends); interval <= 0 disables
+// sampling. Snapshots returns the result.
+func (s *System) SampleEvery(interval int64) {
+	if interval <= 0 {
+		s.sampler = nil
+		return
+	}
+	s.sampler = obs.NewSampler(interval)
+}
+
+// Snapshots returns the metrics snapshots captured so far.
+func (s *System) Snapshots() []obs.Snapshot {
+	if s.sampler == nil {
+		return nil
+	}
+	return s.sampler.Snapshots()
+}
+
 // Result summarizes one run's measured interval.
 type Result struct {
 	// Cycles is the measured interval length; Insts the per-core
@@ -81,6 +113,9 @@ func (s *System) Run(warmup, measure int64) (Result, error) {
 	end, err := s.runUntil(warmup + measure)
 	if err != nil {
 		return Result{}, err
+	}
+	if s.sampler != nil {
+		s.sampler.Finish(s.cycle, &s.count)
 	}
 	cycles := end - start
 	return Result{
@@ -117,6 +152,9 @@ func (s *System) runUntil(target int64) (int64, error) {
 		s.mem.Tick(s.cycle)
 		for _, c := range s.cores {
 			c.Tick(s.cycle)
+		}
+		if s.sampler != nil {
+			s.sampler.MaybeSample(s.cycle, &s.count)
 		}
 		if r := s.totalRetired(); r > lastRetired {
 			lastRetired = r

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"pinnedloads/internal/arch"
 	"pinnedloads/internal/isa"
+	"pinnedloads/internal/obs"
 )
 
 // windowAt returns the correct-path instruction with the given stream
@@ -173,6 +174,10 @@ func (c *Core) squashFrom(from int64, cause string) {
 	}
 	c.count.Inc("squash." + cause)
 	c.count.Add("squashed_insts", uint64(c.tail-from))
+	if c.tracing {
+		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindSquash,
+			Seq: from, Arg: c.tail - from, Cause: obs.CauseFromString(cause)})
+	}
 
 	refetch := int64(-1) // correct-path stream index to resume from
 	for s := from; s < c.tail; s++ {

@@ -16,6 +16,7 @@ import (
 	"pinnedloads/internal/coherence"
 	"pinnedloads/internal/defense"
 	"pinnedloads/internal/isa"
+	"pinnedloads/internal/obs"
 	"pinnedloads/internal/pin"
 	"pinnedloads/internal/stats"
 	"pinnedloads/internal/trace"
@@ -123,6 +124,11 @@ type Core struct {
 	bar    *BarrierSync
 	count  *stats.Counters
 
+	// rec receives structured trace events; tracing caches rec.Enabled()
+	// so disabled runs pay only a branch on a local bool per event site.
+	rec     obs.Recorder
+	tracing bool
+
 	now int64
 
 	// ROB ring. entries[seq % len] is valid for head <= seq < tail.
@@ -207,6 +213,7 @@ func NewCore(id int, cfg *arch.Config, policy defense.Policy, l1 *coherence.L1,
 		gen:            gen,
 		bar:            bar,
 		count:          count,
+		rec:            obs.Nop,
 		entries:        make([]entry, cfg.ROBEntries),
 		tokenSeq:       make(map[int64]int64),
 		pinnedRef:      make(map[uint64]int),
@@ -242,6 +249,22 @@ func (c *Core) at(seq int64) *entry {
 
 // valid reports whether seq names a live ROB entry.
 func (c *Core) valid(seq int64) bool { return seq >= c.head && seq < c.tail }
+
+// SetRecorder attaches an event recorder to the core (and its L1). Call it
+// before the first Tick; the enabled state is cached for the whole run.
+func (c *Core) SetRecorder(r obs.Recorder) {
+	if r == nil {
+		r = obs.Nop
+	}
+	c.rec = r
+	c.tracing = r.Enabled()
+	c.l1.SetRecorder(r)
+}
+
+// VPFrontier returns the core's Visibility Point frontier: every ROB entry
+// with seq below it has met the active condition mask's prefix
+// requirements (for tests and invariant checks).
+func (c *Core) VPFrontier() int64 { return c.vpFrontier }
 
 // Retired returns the number of retired instructions.
 func (c *Core) Retired() int64 { return c.retired }

@@ -1,6 +1,9 @@
 package pipeline
 
-import "pinnedloads/internal/isa"
+import (
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/obs"
+)
 
 // faultFlushPenalty is the extra frontend stall after taking an exception.
 const faultFlushPenalty = 30
@@ -8,6 +11,7 @@ const faultFlushPenalty = 30
 // retire commits up to IssueWidth instructions from the head of the ROB.
 func (c *Core) retire() {
 	retiredIdx := int64(-1)
+	startHead := c.head
 	for n := 0; n < c.cfg.IssueWidth && c.head < c.tail; n++ {
 		e := c.at(c.head)
 		switch e.inst.Op {
@@ -121,6 +125,10 @@ func (c *Core) retire() {
 	}
 	if retiredIdx >= 0 {
 		c.pruneWindow(retiredIdx)
+	}
+	if c.tracing && c.head > startHead {
+		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindRetire,
+			Seq: c.head, Arg: c.head - startHead})
 	}
 }
 

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"pinnedloads/internal/defense"
 	"pinnedloads/internal/isa"
+	"pinnedloads/internal/obs"
 	"pinnedloads/internal/pin"
 )
 
@@ -71,12 +72,17 @@ func (c *Core) advanceVP() {
 	}
 	// Frontiers can fall behind the head when the entry blocking them
 	// retires; instructions that left the ROB trivially pass.
+	oldVP := c.vpFrontier
 	if c.vpFrontier < c.head {
 		c.vpFrontier = c.head
 	}
 	mask := c.policy.VPConds()
 	for c.vpFrontier < c.tail && c.frontierPass(c.at(c.vpFrontier), mask) {
 		c.vpFrontier++
+	}
+	if c.tracing && c.vpFrontier != oldVP {
+		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindVPAdvance,
+			Seq: oldVP, Arg: c.vpFrontier})
 	}
 	if c.policy.Pinning() {
 		if c.pinVPFrontier < c.head {
@@ -375,18 +381,28 @@ func (c *Core) commitPin(e *entry) {
 	c.pinnedRef[e.line]++
 	c.pinFrontier = e.seq + 1
 	c.count.Inc("pin.pinned")
+	if c.tracing {
+		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindPin,
+			Seq: e.seq, Line: e.line})
+	}
 }
 
 // unpin releases a pinned load's record at retirement.
 func (c *Core) unpin(e *entry) {
+	last := int64(0)
 	if n := c.pinnedRef[e.line]; n > 1 {
 		c.pinnedRef[e.line] = n - 1
 	} else {
+		last = 1
 		delete(c.pinnedRef, e.line)
 		// Last pinned load of the line: with the L1-tag record, the
 		// Pinned bit in the cache must be cleared (the retiring load
 		// carries the YPL bit, paper Section 6.1.2).
 		c.recordUnpin(e.line)
+	}
+	if c.tracing {
+		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindUnpin,
+			Seq: e.seq, Line: e.line, Arg: last})
 	}
 	if s, ok := c.tagToSeq[e.lqTag]; ok && s == e.seq {
 		delete(c.tagToSeq, e.lqTag)

@@ -41,6 +41,16 @@ func (c *Counters) Names() []string {
 	return names
 }
 
+// Snapshot returns a copy of every counter's current value; the copy is
+// independent of later increments (metrics-interval sampling uses it).
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
 // Merge adds all counters from other into c.
 func (c *Counters) Merge(other *Counters) {
 	for k, v := range other.m {

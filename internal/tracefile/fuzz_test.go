@@ -1,0 +1,117 @@
+package tracefile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/trace"
+)
+
+// fuzzSeedTrace builds a small but representative trace: two cores, every
+// op kind, mispredicted branches, faults, warm lines.
+func fuzzSeedTrace() *Trace {
+	return &Trace{
+		TraceName: "fuzz-seed.trace",
+		Streams: [][]isa.Inst{
+			{
+				{Op: isa.Load, Addr: 0x4000, PC: 0x100, Deps: [2]int32{1, 0}},
+				{Op: isa.Store, Addr: 0x4040, PC: 0x104},
+				{Op: isa.Branch, Taken: true, Mispredict: true, PC: 0x108},
+				{Op: isa.ALU, Lat: 3, PC: 0x10c},
+				{Op: isa.Load, Addr: 0x8000, Fault: true, PC: 0x90},
+			},
+			{
+				{Op: isa.Fence, PC: 0x200},
+				{Op: isa.Lock, Addr: 0x9000, PC: 0x204},
+				{Op: isa.Barrier, PC: 0x208},
+				{Op: isa.Halt, PC: 0x20c},
+			},
+		},
+		Wrong: [][]isa.Inst{
+			{{Op: isa.Nop, PC: 0x300}},
+			{{Op: isa.Load, Addr: 0xdead40, PC: 0x304}},
+		},
+		Warm: [][]uint64{{0x100, 0x101, 0x200}, nil},
+	}
+}
+
+// FuzzTracefileRoundTrip checks that Decode never panics on arbitrary
+// input, and that any input Decode accepts round-trips losslessly:
+// decode -> encode -> decode yields an identical trace and identical bytes.
+func FuzzTracefileRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := fuzzSeedTrace().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	// A recorded generator trace exercises the PC-delta and warm-line paths.
+	var rec bytes.Buffer
+	if err := Record(trace.ByName("gcc_r"), 1, 32).Encode(&rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rec.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PLTR"))
+	f.Add([]byte("PLTR\x02\x01\x00"))
+	// Truncations and bit flips of a valid encoding are the interesting
+	// corruption class; give the mutator a head start.
+	f.Add(seed.Bytes()[:len(seed.Bytes())/2])
+	flipped := append([]byte(nil), seed.Bytes()...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking or OOM is not
+		}
+		var enc1 bytes.Buffer
+		if err := tr.Encode(&enc1); err != nil {
+			t.Fatalf("encode of decoded trace failed: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of encoded trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\nfirst:  %+v\nsecond: %+v", tr, tr2)
+		}
+		var enc2 bytes.Buffer
+		if err := tr2.Encode(&enc2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("re-encoding is not byte-stable")
+		}
+	})
+}
+
+// TestDecodeRejectsImplausibleCounts pins the hardening limits: headers
+// claiming absurd sizes must fail fast instead of allocating.
+func TestDecodeRejectsImplausibleCounts(t *testing.T) {
+	huge := []byte("PLTR\x02\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01") // cores = 2^63+
+	if _, err := Decode(bytes.NewReader(huge)); err == nil {
+		t.Fatal("decode accepted an implausible core count")
+	}
+	name := []byte("PLTR\x02\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01") // nameLen huge
+	if _, err := Decode(bytes.NewReader(name)); err == nil {
+		t.Fatal("decode accepted an implausible name length")
+	}
+}
+
+// TestDecodeTruncatedStreamCount checks that a stream count far larger than
+// the remaining input errors out with bounded memory (the prealloc clamp).
+func TestDecodeTruncatedStreamCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("PLTR")
+	buf.WriteByte(2)
+	buf.WriteByte(1)                                                  // one core
+	buf.WriteByte(1)                                                  // name length 1
+	buf.WriteByte('x')                                                //
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // count ~2^55
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("decode accepted a truncated stream")
+	}
+}

@@ -36,6 +36,25 @@ const (
 	version = 2
 )
 
+// Decode hardening limits. Corrupt or hostile inputs can claim absurd
+// element counts; the decoder rejects counts above these bounds outright
+// and otherwise clamps its pre-allocations (preallocCap) so memory use is
+// bounded by the actual input size, not the claimed count.
+const (
+	maxCores    = 1 << 12
+	maxNameLen  = 1 << 16
+	preallocCap = 1 << 12
+)
+
+// preallocSize bounds a claimed element count to a safe initial slice
+// capacity; append grows it if the input really holds that many elements.
+func preallocSize(n uint64) int {
+	if n > preallocCap {
+		return preallocCap
+	}
+	return int(n)
+}
+
 // wrongPathSample is how many wrong-path instructions are recorded per
 // core; replay cycles through them.
 const wrongPathSample = 4096
@@ -140,11 +159,19 @@ func (t *Trace) Save(path string) error {
 		return err
 	}
 	defer f.Close()
-	w := bufio.NewWriter(f)
-	if err := t.encode(w); err != nil {
+	if err := t.Encode(f); err != nil {
 		return err
 	}
-	return w.Flush()
+	return nil
+}
+
+// Encode writes the trace's binary encoding to w.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := t.encode(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // Load reads a trace from a file.
@@ -154,7 +181,13 @@ func Load(path string) (*Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return decode(bufio.NewReader(f))
+	return Decode(f)
+}
+
+// Decode reads a binary trace encoding from r. Malformed input produces an
+// error, never a panic, and memory use is bounded by the input size.
+func Decode(r io.Reader) (*Trace, error) {
+	return decode(bufio.NewReader(r))
 }
 
 func (t *Trace) encode(w *bufio.Writer) error {
@@ -240,9 +273,15 @@ func decode(r *bufio.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cores > maxCores {
+		return nil, fmt.Errorf("tracefile: implausible core count %d", cores)
+	}
 	nameLen, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
+	}
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("tracefile: implausible name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(r, name); err != nil {
@@ -264,7 +303,7 @@ func decode(r *bufio.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		warm := make([]uint64, 0, n)
+		warm := make([]uint64, 0, preallocSize(n))
 		var last uint64
 		for i := uint64(0); i < n; i++ {
 			d, err := binary.ReadUvarint(r)
@@ -284,7 +323,7 @@ func decodeStream(r *bufio.Reader) ([]isa.Inst, error) {
 	if err != nil {
 		return nil, err
 	}
-	insts := make([]isa.Inst, 0, n)
+	insts := make([]isa.Inst, 0, preallocSize(n))
 	var lastPC uint64
 	for i := uint64(0); i < n; i++ {
 		op, err := r.ReadByte()

@@ -1,0 +1,51 @@
+package pinnedloads
+
+import (
+	"io"
+
+	"pinnedloads/internal/obs"
+)
+
+// TraceEvent is one structured simulator event (VP advance, pin/unpin,
+// deferred invalidation, squash, MSHR allocation, retire). Enable event
+// collection with RunSpec.TraceBuffer.
+type TraceEvent = obs.Event
+
+// TraceEventKind identifies a TraceEvent's type.
+type TraceEventKind = obs.Kind
+
+// SquashCause classifies squash trace events.
+type SquashCause = obs.Cause
+
+// The event taxonomy; see the obs package for field conventions.
+const (
+	EventVPAdvance     = obs.KindVPAdvance
+	EventPin           = obs.KindPin
+	EventUnpin         = obs.KindUnpin
+	EventDeferredInval = obs.KindDeferredInval
+	EventSquash        = obs.KindSquash
+	EventMSHRAlloc     = obs.KindMSHRAlloc
+	EventRetire        = obs.KindRetire
+)
+
+// Squash causes recorded on EventSquash trace events.
+const (
+	SquashNone   = obs.CauseNone
+	SquashBranch = obs.CauseBranch
+	SquashAlias  = obs.CauseAlias
+	SquashMCV    = obs.CauseMCV
+	SquashFault  = obs.CauseFault
+)
+
+// MetricsSnapshot is a periodic counter snapshot; enable collection with
+// RunSpec.MetricsInterval.
+type MetricsSnapshot = obs.Snapshot
+
+// WriteChromeTrace writes events as a Chrome trace_event JSON file that
+// opens in chrome://tracing or Perfetto (https://ui.perfetto.dev). One
+// simulated cycle maps to one microsecond; cores is the simulated core
+// count (it names the per-core tracks). The output is deterministic:
+// identical event streams produce byte-identical files.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, cores int) error {
+	return obs.WriteChromeTrace(w, events, cores)
+}

@@ -1,0 +1,153 @@
+package pinnedloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test . -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenEvents is a fixed event stream covering the whole taxonomy; the
+// golden pins the exporter's exact rendering.
+func goldenEvents() []TraceEvent {
+	return []TraceEvent{
+		{Cycle: 10, Core: 0, Kind: EventVPAdvance, Seq: 0, Arg: 4},
+		{Cycle: 11, Core: 0, Kind: EventMSHRAlloc, Line: 0x2001},
+		{Cycle: 12, Core: 1, Kind: EventMSHRAlloc, Line: 0x2002, Arg: 1},
+		{Cycle: 14, Core: 0, Kind: EventPin, Seq: 2, Line: 0x2001},
+		{Cycle: 20, Core: 1, Kind: EventSquash, Seq: 7, Arg: 5, Cause: SquashBranch},
+		{Cycle: 25, Core: 1, Kind: EventDeferredInval, Line: 0x2001, Arg: 0},
+		{Cycle: 26, Core: 0, Kind: EventDeferredInval, Line: 0x2002, Arg: -1},
+		{Cycle: 30, Core: 0, Kind: EventUnpin, Seq: 2, Line: 0x2001, Arg: 1},
+		{Cycle: 31, Core: 0, Kind: EventRetire, Seq: 8, Arg: 3},
+		{Cycle: 32, Core: 1, Kind: EventSquash, Seq: 9, Arg: 1, Cause: SquashAlias},
+		{Cycle: 40, Core: 1, Kind: EventVPAdvance, Seq: 4, Arg: 9},
+	}
+}
+
+// TestChromeTraceGolden pins the exporter's byte-exact output so rendering
+// refactors cannot silently change the trace format.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exporter produced invalid JSON")
+	}
+	path := filepath.Join("testdata", "chrome_trace.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// traceSpec is a small contended 2-core run with tracing enabled.
+func traceSpec() RunSpec {
+	shared := []Inst{
+		{Op: OpLoad, Addr: 0x800000},
+		{Op: OpStore, Addr: 0x800000, Deps: [2]int32{1, 1}},
+		{Op: OpBranch, Taken: true, Mispredict: true, Deps: [2]int32{2}},
+		{Op: OpLoad, Addr: 0x800040},
+		{Op: OpALU, Lat: 2, Deps: [2]int32{1}},
+	}
+	return RunSpec{
+		Workload: &Script{
+			ScriptName: "trace-probe",
+			NumCores:   2,
+			Insts:      [][]Inst{shared, shared},
+			Loop:       true,
+		},
+		Scheme: Fence, Variant: EP,
+		Seed: 7, Warmup: 500, Measure: 2000,
+		TraceBuffer: 1 << 16,
+	}
+}
+
+// TestChromeTraceDeterministic checks the end-to-end property the ISSUE
+// requires: the same config and seed produce a byte-identical trace file.
+func TestChromeTraceDeterministic(t *testing.T) {
+	render := func() []byte {
+		res, err := Run(traceSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Events) == 0 {
+			t.Fatal("traced run produced no events")
+		}
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, res.Events, 2); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different chrome traces")
+	}
+	if !json.Valid(a) {
+		t.Fatal("chrome trace is not valid JSON")
+	}
+}
+
+// TestChromeTraceEightCoreEvents is the acceptance check: an 8-core
+// workload's trace is valid JSON and contains VP-advance, pin, deferred-
+// invalidation, and squash events.
+func TestChromeTraceEightCoreEvents(t *testing.T) {
+	res, err := Run(RunSpec{
+		Benchmark: "ocean_cp", Scheme: Fence, Variant: EP,
+		Seed: 1, Warmup: 5000, Measure: 15000,
+		TraceBuffer: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, res.Events, 8); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	maxPID := 0
+	for _, ev := range trace.TraceEvents {
+		seen[ev.Name] = true
+		if ev.PID > maxPID {
+			maxPID = ev.PID
+		}
+	}
+	for _, name := range []string{"vp_frontier", "pin", "deferred_inval", "squash"} {
+		if !seen[name] {
+			t.Errorf("trace lacks %q events (saw %v)", name, seen)
+		}
+	}
+	if maxPID != 7 {
+		t.Errorf("expected events across 8 cores (max pid 7), got max pid %d", maxPID)
+	}
+}
