@@ -10,6 +10,7 @@
 //	plbench -quick -fig 7         # fast, low-precision sizing
 //	plbench -workers 8 -all       # bound simulation parallelism
 //	plbench -measure 100000 -warmup 20000 -seed 2 ...
+//	plbench -server http://host:8321 -fig 7   # offload runs to plserved
 //
 // Simulations within each experiment run on a worker pool (-workers,
 // default: every available CPU); results are bit-identical to a
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"pinnedloads/internal/experiments"
+	"pinnedloads/internal/service/client"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all CPUs)")
 		verbose = flag.Bool("v", false, "print each simulation as it completes")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
+		server  = flag.String("server", "", "offload benchmark simulations to a plserved instance at this URL")
 		chart   = flag.Bool("chart", false, "render figures as terminal bar charts too")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -92,6 +95,9 @@ func main() {
 	}
 	runner := experiments.NewRunner(params)
 	runner.Workers = *workers
+	if *server != "" {
+		runner.Remote = client.New(*server)
+	}
 	if *verbose {
 		runner.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

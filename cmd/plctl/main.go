@@ -1,0 +1,209 @@
+// Command plctl is the command-line client for a plserved simulation
+// service.
+//
+// Usage:
+//
+//	plctl -server http://127.0.0.1:8321 <command> [flags]
+//
+// Commands:
+//
+//	submit   submit a job; -wait blocks until it finishes
+//	get      print a job's status by ID
+//	wait     block until a job finishes, then print it
+//	trace    download a done job's Chrome trace JSON
+//	metrics  print the server's counters
+//
+// Examples:
+//
+//	plctl submit -bench mcf_r -scheme fence -variant ep -wait -csv
+//	plctl submit -bench gcc_r -trace-buf 4096 -wait
+//	plctl trace -o trace.json <job-id>
+//	plctl get <job-id>
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pinnedloads/internal/service"
+	"pinnedloads/internal/service/client"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "plctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("plctl", flag.ContinueOnError)
+	server := global.String("server", "http://127.0.0.1:8321", "plserved base URL")
+	global.Usage = usage(global)
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		global.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := client.New(*server)
+	ctx := context.Background()
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(ctx, c, rest)
+	case "get":
+		return cmdGet(ctx, c, rest)
+	case "wait":
+		return cmdWait(ctx, c, rest)
+	case "trace":
+		return cmdTrace(ctx, c, rest)
+	case "metrics":
+		return cmdMetrics(ctx, c)
+	default:
+		global.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintln(os.Stderr, "usage: plctl [-server URL] <submit|get|wait|trace|metrics> [flags]")
+		fs.PrintDefaults()
+	}
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var (
+		bench    = fs.String("bench", "", "benchmark proxy name (required)")
+		scheme   = fs.String("scheme", "unsafe", "defense scheme (unsafe, fence, dom, stt)")
+		variant  = fs.String("variant", "comp", "variant (comp, lp, ep, spectre)")
+		conds    = fs.String("conds", "", "comma-separated VP conditions (ctrl,alias,exception,mcv)")
+		seed     = fs.Uint64("seed", 0, "workload seed (0 = default)")
+		warmup   = fs.Int64("warmup", 0, "warmup instructions per core (0 = default)")
+		measure  = fs.Int64("measure", 0, "measured instructions per core (0 = default)")
+		traceBuf = fs.Int("trace-buf", 0, "event trace ring size (0 = no tracing)")
+		wait     = fs.Bool("wait", false, "block until the job finishes")
+		asCSV    = fs.Bool("csv", false, "with -wait: print the result as CSV instead of JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" {
+		return fmt.Errorf("submit: -bench is required")
+	}
+	spec := service.JobSpec{
+		Benchmark:   *bench,
+		Scheme:      *scheme,
+		Variant:     *variant,
+		Seed:        *seed,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		TraceBuffer: *traceBuf,
+	}
+	if *conds != "" {
+		spec.Conds = strings.Split(*conds, ",")
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if *wait && !st.State.Terminal() {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return err
+		}
+	}
+	if st.State == service.StateFailed {
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	if *asCSV && st.State == service.StateDone {
+		os.Stdout.Write(st.Result.MarshalCSV())
+		return nil
+	}
+	return printJSON(st)
+}
+
+func jobID(name string, args []string) (string, error) {
+	if len(args) != 1 || args[0] == "" {
+		return "", fmt.Errorf("%s: exactly one job ID expected", name)
+	}
+	return args[0], nil
+}
+
+func cmdGet(ctx context.Context, c *client.Client, args []string) error {
+	id, err := jobID("get", args)
+	if err != nil {
+		return err
+	}
+	st, err := c.Get(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdWait(ctx context.Context, c *client.Client, args []string) error {
+	id, err := jobID("wait", args)
+	if err != nil {
+		return err
+	}
+	st, err := c.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	if st.State == service.StateFailed {
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	return printJSON(st)
+}
+
+func cmdTrace(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := jobID("trace", fs.Args())
+	if err != nil {
+		return err
+	}
+	data, err := c.Trace(ctx, id)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+func cmdMetrics(ctx context.Context, c *client.Client) error {
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s=%d\n", n, m[n])
+	}
+	return nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,116 @@
+// Command plserved is the simulation service daemon: a job-queue HTTP
+// server around the pinnedloads simulator with a content-addressed result
+// cache, explicit backpressure, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	plserved -addr :8321                      # serve on a fixed port
+//	plserved -addr 127.0.0.1:0 -addr-file p   # random port, written to p
+//	plserved -cache-dir /var/cache/pl         # persist results across restarts
+//	plserved -workers 8 -queue 256            # sizing
+//	plserved -job-timeout 10m                 # bound each simulation
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace,
+// GET /healthz, GET /metrics. Submissions are idempotent: a job's ID is
+// the content-addressed digest of its normalized spec, so resubmitting an
+// identical spec attaches to the existing job or its cached result. When
+// the queue is full the server answers 429 with a Retry-After hint. On
+// SIGTERM/SIGINT it stops accepting work, finishes what is queued (up to
+// -drain-timeout), and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pinnedloads/internal/service"
+	"pinnedloads/internal/simcache"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8321", "listen address (host:0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers      = flag.Int("workers", 0, "simulation workers (0 = all CPUs)")
+		queue        = flag.Int("queue", 64, "job queue depth before submissions get 429")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job simulation deadline (0 = unbounded)")
+		retryAfter   = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429 responses")
+		cacheDir     = flag.String("cache-dir", "", "persist results to this directory (survives restarts)")
+		cacheEntries = flag.Int("cache-entries", 1024, "in-memory result cache bound (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "max time to finish queued jobs on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, service.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		RetryAfter: *retryAfter,
+	}, *cacheDir, *cacheEntries, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "plserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, opt service.Options, cacheDir string, cacheEntries int, drainTimeout time.Duration) error {
+	// Memory in front, disk behind (when asked for): warm lookups stay
+	// off the filesystem, results survive restarts.
+	mem := simcache.NewMemory(cacheEntries)
+	opt.Cache = mem
+	if cacheDir != "" {
+		disk, err := simcache.NewDisk(cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = simcache.NewTiered(mem, disk)
+	}
+
+	s := service.New(opt)
+	s.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "plserved: listening on %s\n", bound)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "plserved: %s: draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		// Queued work did not finish in time; cancel what is left so the
+		// process still exits.
+		fmt.Fprintf(os.Stderr, "plserved: %v\n", err)
+		s.Close()
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "plserved: drained, bye")
+	return nil
+}

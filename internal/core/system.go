@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pinnedloads/internal/arch"
@@ -103,14 +104,26 @@ type Result struct {
 // Run executes warmup instructions per core unmeasured, then measures the
 // cycles needed for every core to retire measure further instructions.
 func (s *System) Run(warmup, measure int64) (Result, error) {
+	return s.RunContext(context.Background(), warmup, measure)
+}
+
+// ctxCheckMask spaces the cycle loop's context polls: the deadline is
+// checked every ctxCheckMask+1 cycles, keeping the common-path cost of
+// cancellation support to one branch on a local counter.
+const ctxCheckMask = 4096 - 1
+
+// RunContext is Run with cancellation: when ctx is canceled or its
+// deadline passes, the simulation stops mid-run (within a few thousand
+// cycles) and returns an error wrapping ctx.Err().
+func (s *System) RunContext(ctx context.Context, warmup, measure int64) (Result, error) {
 	if measure <= 0 {
 		return Result{}, fmt.Errorf("core: measure count must be positive, got %d", measure)
 	}
-	start, err := s.runUntil(warmup)
+	start, err := s.runUntil(ctx, warmup)
 	if err != nil {
 		return Result{}, err
 	}
-	end, err := s.runUntil(warmup + measure)
+	end, err := s.runUntil(ctx, warmup+measure)
 	if err != nil {
 		return Result{}, err
 	}
@@ -128,7 +141,9 @@ func (s *System) Run(warmup, measure int64) (Result, error) {
 
 // runUntil advances the system until every core has retired target
 // instructions (or halted), returning the cycle the last core got there.
-func (s *System) runUntil(target int64) (int64, error) {
+// The context is polled every ctxCheckMask+1 cycles so a canceled or
+// timed-out run stops mid-simulation instead of running to completion.
+func (s *System) runUntil(ctx context.Context, target int64) (int64, error) {
 	if target <= 0 {
 		return s.cycle, nil
 	}
@@ -147,6 +162,13 @@ func (s *System) runUntil(target int64) (int64, error) {
 		}
 		if done {
 			break
+		}
+		if s.cycle&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return 0, fmt.Errorf("core: run stopped at cycle %d: %w", s.cycle, ctx.Err())
+			default:
+			}
 		}
 		s.cycle++
 		s.mem.Tick(s.cycle)

@@ -7,7 +7,10 @@
 // issue and when it reaches its Visibility Point.
 package defense
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Scheme is a hardware defense scheme (paper Table 2).
 type Scheme uint8
@@ -157,4 +160,53 @@ func (p Policy) String() string {
 		return fmt.Sprintf("%s[%s]", p.Scheme, p.Conds)
 	}
 	return fmt.Sprintf("%s-%s", p.Scheme, p.Variant)
+}
+
+// ParseScheme resolves a scheme name (any case: "fence", "DOM", ...) to
+// its Scheme value; it accepts exactly the names String returns.
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if strings.EqualFold(name, n) {
+			return Scheme(s), nil
+		}
+	}
+	return 0, fmt.Errorf("defense: unknown scheme %q (want unsafe, fence, dom, stt or is)", name)
+}
+
+// ParseVariant resolves a variant name (any case: "comp", "EP", ...) to
+// its Variant value; it accepts exactly the names String returns.
+func ParseVariant(name string) (Variant, error) {
+	for v, n := range variantNames {
+		if strings.EqualFold(name, n) {
+			return Variant(v), nil
+		}
+	}
+	return 0, fmt.Errorf("defense: unknown variant %q (want comp, lp, ep or spectre)", name)
+}
+
+// condNames maps each condition bit to its canonical name.
+var condNames = map[Cond]string{
+	CondCtrl: "ctrl", CondAlias: "alias", CondException: "exception", CondMCV: "mcv",
+}
+
+// ParseCond resolves one condition name to its bit.
+func ParseCond(name string) (Cond, error) {
+	for c, n := range condNames {
+		if strings.EqualFold(name, n) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("defense: unknown VP condition %q (want ctrl, alias, exception or mcv)", name)
+}
+
+// Names lists the names of the conditions set in the mask, in the
+// canonical ctrl, alias, exception, mcv order.
+func (m Cond) Names() []string {
+	var out []string
+	for _, c := range []Cond{CondCtrl, CondAlias, CondException, CondMCV} {
+		if m.Has(c) {
+			out = append(out, condNames[c])
+		}
+	}
+	return out
 }

@@ -19,8 +19,10 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sort"
 	"strings"
@@ -28,9 +30,11 @@ import (
 	"sync/atomic"
 
 	"pinnedloads/internal/arch"
-	"pinnedloads/internal/core"
 	"pinnedloads/internal/defense"
-	"pinnedloads/internal/stats"
+	"pinnedloads/internal/service"
+	"pinnedloads/internal/simcache"
+	"pinnedloads/internal/simrun"
+	"pinnedloads/internal/speckey"
 	"pinnedloads/internal/trace"
 )
 
@@ -48,30 +52,16 @@ func DefaultParams() Params { return Params{Warmup: 15_000, Measure: 60_000, See
 // QuickParams returns a fast sizing for tests and smoke runs.
 func QuickParams() Params { return Params{Warmup: 2_000, Measure: 8_000, Seed: 1} }
 
-// runKey identifies a memoized simulation.
-type runKey struct {
-	bench   string
-	scheme  defense.Scheme
-	variant defense.Variant
-	conds   defense.Cond
-	cfgTag  string
-}
-
 // runReq names one simulation an experiment needs: the workload, the
-// defense policy, and an optional config override identified by cfgTag.
-// The tag is part of the memoization key, so distinct configurations must
-// carry distinct tags (and the default config the empty tag).
+// defense policy, and an optional config override. cfgTag is a display
+// label only — memoization is content-addressed over the effective
+// configuration itself, so two requests dedupe exactly when they describe
+// the same simulation, whatever they are tagged.
 type runReq struct {
 	bench  trace.Source
 	pol    defense.Policy
 	cfg    *arch.Config
 	cfgTag string
-}
-
-// key returns the request's memoization key.
-func (q runReq) key() runKey {
-	pol := normalizePolicy(q.pol)
-	return runKey{q.bench.Name(), pol.Scheme, pol.Variant, pol.Conds, q.cfgTag}
 }
 
 // normalizePolicy folds a full-Comprehensive condition override into the
@@ -82,6 +72,13 @@ func normalizePolicy(pol defense.Policy) defense.Policy {
 		pol.Conds = 0
 	}
 	return pol
+}
+
+// RemoteRunner dispatches a simulation to a plserved instance instead of
+// executing it locally. The service/client SDK implements it; cmd/plbench
+// installs it behind the -server flag.
+type RemoteRunner interface {
+	Run(ctx context.Context, spec service.JobSpec) (*simrun.Output, error)
 }
 
 // Runner executes simulations with memoization so experiments can share
@@ -96,122 +93,125 @@ type Runner struct {
 	// Lines are delivered in deterministic enumeration order regardless
 	// of worker interleaving, and never concurrently.
 	Progress func(string)
+	// Remote, when non-nil, offloads eligible runs (registered benchmark
+	// proxies) to a simulation service; custom workloads — scripts, trace
+	// replays, the Figure 2 micro-profiles — always simulate locally
+	// because the service can only name what its registry holds.
+	Remote RemoteRunner
 
-	mu    sync.Mutex
-	cache map[runKey]*flight
-	sims  atomic.Int64
-}
-
-// flight is a singleflight cache slot: the first requester of a key runs
-// the simulation; later requesters block on done and share the result.
-type flight struct {
-	done chan struct{}
-	out  *runOut
-	err  error
-}
-
-// hwStats is the small per-core hardware-structure summary extracted from
-// a finished simulation (keeping whole systems alive would hold the full
-// LLC arrays of hundreds of runs in memory).
-type hwStats struct {
-	l1FP, dirFP  float64
-	hasCST       bool
-	cptMean      float64
-	cptMax       int
-	cptSamples   uint64
-	cptInserts   uint64
-	cptOverflows uint64
-	hasCPT       bool
-}
-
-type runOut struct {
-	cpi   float64
-	count *stats.Counters
-	hw    []hwStats
+	memo   *simcache.Memo
+	sims   atomic.Int64
+	remote atomic.Int64
 }
 
 // NewRunner returns a Runner with the given parameters.
 func NewRunner(p Params) *Runner {
-	return &Runner{P: p, cache: make(map[runKey]*flight)}
+	return &Runner{P: p, memo: simcache.NewMemo(simcache.NewMemory(0))}
 }
 
-// Simulations returns how many simulations actually executed (memo hits
-// excluded); tests use it to assert singleflight deduplication.
+// Simulations returns how many simulations actually executed locally
+// (memo hits and remote runs excluded); tests use it to assert
+// singleflight deduplication.
 func (r *Runner) Simulations() int64 { return r.sims.Load() }
+
+// RemoteRuns returns how many simulations the Remote hook served.
+func (r *Runner) RemoteRuns() int64 { return r.remote.Load() }
+
+// key returns a request's content-addressed memoization key: the shared
+// speckey digest over the benchmark, the resolved policy, the effective
+// configuration and the runner's sizing — the same identity the
+// simulation service uses as job ID, so a result computed by either side
+// names the other's.
+func (r *Runner) key(bench trace.Source, pol defense.Policy, cfg *arch.Config) string {
+	pol = normalizePolicy(pol)
+	return speckey.Spec{
+		Benchmark: bench.Name(),
+		Scheme:    pol.Scheme.String(),
+		Variant:   pol.Variant.String(),
+		Conds:     uint8(pol.VPConds()),
+		Seed:      r.P.Seed,
+		Warmup:    r.P.Warmup,
+		Measure:   r.P.Measure,
+		Config:    effectiveConfig(bench, cfg),
+	}.Key()
+}
+
+// effectiveConfig resolves what the simulator will actually run: the
+// paper machine at the workload's core count unless overridden.
+func effectiveConfig(bench trace.Source, cfg *arch.Config) *arch.Config {
+	if cfg == nil {
+		c := arch.PaperConfig(bench.Cores())
+		return &c
+	}
+	return cfg
+}
 
 // run executes (or recalls) one simulation of bench under the policy. It
 // is safe for concurrent use: the first caller for a key simulates, every
 // other caller blocks until that simulation finishes and shares its
-// result. Failures are returned as errors, never panics.
-func (r *Runner) run(bench trace.Source, pol defense.Policy, cfg *arch.Config, cfgTag string) (*runOut, error) {
+// result. Failures are returned as errors, never panics, and are
+// memoized like results. cfgTag only labels the request (see runReq).
+func (r *Runner) run(bench trace.Source, pol defense.Policy, cfg *arch.Config, cfgTag string) (*simrun.Output, error) {
 	pol = normalizePolicy(pol)
-	key := runKey{bench.Name(), pol.Scheme, pol.Variant, pol.Conds, cfgTag}
-	r.mu.Lock()
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		<-f.done
-		return f.out, f.err
-	}
-	f := &flight{done: make(chan struct{})}
-	r.cache[key] = f
-	r.mu.Unlock()
-	f.out, f.err = r.simulate(bench, pol, cfg)
-	close(f.done)
-	return f.out, f.err
+	return r.memo.Do(r.key(bench, pol, cfg), func() (*simrun.Output, error) {
+		return r.simulate(bench, pol, cfg)
+	})
 }
 
 // get resolves a request through the memo cache.
-func (r *Runner) get(q runReq) (*runOut, error) {
+func (r *Runner) get(q runReq) (*simrun.Output, error) {
 	return r.run(q.bench, q.pol, q.cfg, q.cfgTag)
 }
 
-// simulate executes one simulation synchronously in the calling
-// goroutine. The counters and hardware summaries are snapshotted before
-// returning, so no *core.System (or pointer into one) ever escapes the
-// worker that ran it. A panic anywhere inside the simulator is recovered
-// into an error so one broken run cannot take down a worker pool.
-func (r *Runner) simulate(bench trace.Source, pol defense.Policy, cfg *arch.Config) (out *runOut, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			out, err = nil, fmt.Errorf("experiments: %s %s: panic: %v", bench.Name(), pol, p)
+// simulate executes one simulation in the calling goroutine, remotely
+// when a Remote hook is installed and the workload is service-addressable,
+// locally otherwise (via the shared simrun path, which snapshots counters
+// and hardware summaries and recovers panics into errors).
+func (r *Runner) simulate(bench trace.Source, pol defense.Policy, cfg *arch.Config) (*simrun.Output, error) {
+	if r.Remote != nil {
+		if spec, ok := r.remoteSpec(bench, pol, cfg); ok {
+			out, err := r.Remote.Run(context.Background(), spec)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: remote %s %s: %w", bench.Name(), pol, err)
+			}
+			r.remote.Add(1)
+			return out, nil
 		}
-	}()
-	c := arch.PaperConfig(bench.Cores())
-	if cfg != nil {
-		c = *cfg
 	}
-	sys, err := core.New(c, pol, bench, r.P.Seed)
+	out, err := simrun.Execute(context.Background(), bench, pol, cfg, simrun.Params{
+		Seed:    r.P.Seed,
+		Warmup:  r.P.Warmup,
+		Measure: r.P.Measure,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s %s: %w", bench.Name(), pol, err)
-	}
-	res, err := sys.Run(r.P.Warmup, r.P.Measure)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s %s: %w", bench.Name(), pol, err)
-	}
-	// Deep-copy the counters: res.Counters points into the System, and
-	// retaining it would keep every finished run's caches alive.
-	cnt := &stats.Counters{}
-	cnt.Merge(res.Counters)
-	out = &runOut{cpi: res.CPI, count: cnt}
-	for i := 0; i < c.Cores; i++ {
-		var hs hwStats
-		if l1, dir := sys.Core(i).CSTs(); l1 != nil {
-			hs.hasCST = true
-			hs.l1FP = l1.FalsePositiveRate()
-			hs.dirFP = dir.FalsePositiveRate()
-		}
-		if cpt := sys.Core(i).CPT(); cpt != nil {
-			hs.hasCPT = true
-			hs.cptMean = cpt.Occupancy().Mean()
-			hs.cptMax = cpt.Occupancy().Max()
-			hs.cptSamples = cpt.Occupancy().Samples()
-			hs.cptInserts = cpt.Inserts()
-			hs.cptOverflows = cpt.Overflows()
-		}
-		out.hw = append(out.hw, hs)
+		return nil, err
 	}
 	r.sims.Add(1)
 	return out, nil
+}
+
+// remoteSpec converts a run into a service job when the workload is a
+// benchmark proxy the service's registry also holds (same name, same
+// parameters — registries return fresh instances, so compare by value).
+func (r *Runner) remoteSpec(bench trace.Source, pol defense.Policy, cfg *arch.Config) (service.JobSpec, bool) {
+	p, ok := bench.(*trace.Profile)
+	if !ok {
+		return service.JobSpec{}, false
+	}
+	reg := trace.ByName(p.BenchName)
+	if reg == nil || !reflect.DeepEqual(reg, p) {
+		return service.JobSpec{}, false
+	}
+	return service.JobSpec{
+		Benchmark: p.BenchName,
+		Scheme:    pol.Scheme.String(),
+		Variant:   pol.Variant.String(),
+		Conds:     pol.VPConds().Names(),
+		Seed:      r.P.Seed,
+		Warmup:    r.P.Warmup,
+		Measure:   r.P.Measure,
+		Config:    cfg,
+	}, true
 }
 
 // runAll executes a request set on the worker pool: it deduplicates the
@@ -220,10 +220,10 @@ func (r *Runner) simulate(bench trace.Source, pol defense.Policy, cfg *arch.Conf
 // enumeration order. The pool always drains — a failed simulation never
 // wedges it — and every failure is reported, joined into one error.
 func (r *Runner) runAll(reqs []runReq) error {
-	seen := make(map[runKey]bool, len(reqs))
+	seen := make(map[string]bool, len(reqs))
 	var unique []runReq
 	for _, q := range reqs {
-		if k := q.key(); !seen[k] {
+		if k := r.key(q.bench, q.pol, q.cfg); !seen[k] {
 			seen[k] = true
 			unique = append(unique, q)
 		}
@@ -277,7 +277,7 @@ func (r *Runner) runAll(reqs []runReq) error {
 				var line string
 				if err == nil {
 					line = fmt.Sprintf("%-16s %-14s CPI=%.3f",
-						q.bench.Name(), normalizePolicy(q.pol), out.cpi)
+						q.bench.Name(), normalizePolicy(q.pol), out.CPI)
 				}
 				finish(i, line, err)
 			}
@@ -304,7 +304,7 @@ func (r *Runner) unsafeCPI(bench trace.Source) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return out.cpi, nil
+	return out.CPI, nil
 }
 
 // normalized returns the benchmark's CPI under the policy, normalized to
@@ -318,7 +318,7 @@ func (r *Runner) normalized(bench trace.Source, pol defense.Policy) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	return out.cpi / base, nil
+	return out.CPI / base, nil
 }
 
 // unsafeReq is the baseline request every normalization depends on.

@@ -328,7 +328,7 @@ func RunFigure2(r *Runner) (*Figure2, error) {
 			if err != nil {
 				return nil, err
 			}
-			m[pc.name] = out.cpi
+			m[pc.name] = out.CPI
 		}
 		f.CPI[w.name] = m
 	}

@@ -1,13 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"pinnedloads/internal/arch"
 	"pinnedloads/internal/defense"
 	"pinnedloads/internal/isa"
+	"pinnedloads/internal/service"
+	"pinnedloads/internal/simrun"
 	"pinnedloads/internal/trace"
 )
 
@@ -17,7 +21,7 @@ func TestConcurrentRunSingleflight(t *testing.T) {
 	r := NewRunner(tinyParams())
 	b := trace.ByName("leela_r")
 	const n = 16
-	outs := make([]*runOut, n)
+	outs := make([]*simrun.Output, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -205,5 +209,75 @@ func TestDeadlockErrorPropagates(t *testing.T) {
 	}
 	if err := r.runAll([]runReq{{bench: deadlockSource(), pol: defense.Policy{Scheme: defense.Unsafe}}}); err == nil {
 		t.Fatal("runAll swallowed the deadlock error")
+	}
+}
+
+// fakeRemote is a RemoteRunner that executes the job in-process through
+// the shared simrun path, counting dispatches.
+type fakeRemote struct {
+	calls atomic.Int64
+}
+
+func (f *fakeRemote) Run(ctx context.Context, spec service.JobSpec) (*simrun.Output, error) {
+	f.calls.Add(1)
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	sch, _ := defense.ParseScheme(spec.Scheme)
+	v, _ := defense.ParseVariant(spec.Variant)
+	var mask defense.Cond
+	for _, name := range spec.Conds {
+		c, _ := defense.ParseCond(name)
+		mask |= c
+	}
+	return simrun.Execute(ctx, trace.ByName(spec.Benchmark),
+		defense.Policy{Scheme: sch, Variant: v, Conds: mask}, spec.Config,
+		simrun.Params{Seed: spec.Seed, Warmup: spec.Warmup, Measure: spec.Measure})
+}
+
+// TestRemoteDispatch checks registered benchmark proxies are offloaded to
+// the Remote hook while custom workloads keep simulating locally.
+func TestRemoteDispatch(t *testing.T) {
+	r := NewRunner(tinyParams())
+	remote := &fakeRemote{}
+	r.Remote = remote
+	b := trace.ByName("leela_r")
+	out, err := r.run(b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPI <= 0 {
+		t.Fatalf("remote result implausible: %+v", out)
+	}
+	if remote.calls.Load() != 1 || r.RemoteRuns() != 1 || r.Simulations() != 0 {
+		t.Fatalf("remote=%d RemoteRuns=%d Simulations=%d, want 1/1/0",
+			remote.calls.Load(), r.RemoteRuns(), r.Simulations())
+	}
+	// A resubmit is a memo hit — no second remote call.
+	if _, err := r.run(b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if remote.calls.Load() != 1 {
+		t.Fatalf("memo hit still dispatched remotely (%d calls)", remote.calls.Load())
+	}
+	// Custom workloads cannot be named at the service; they stay local.
+	script := &trace.Script{ScriptName: "local-only", NumCores: 1,
+		Insts: [][]isa.Inst{{{Op: isa.ALU}}}, Loop: true}
+	if _, err := r.run(script, defense.Policy{Scheme: defense.Unsafe}, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if remote.calls.Load() != 1 || r.Simulations() != 1 {
+		t.Fatalf("custom workload went remote (remote=%d local=%d)",
+			remote.calls.Load(), r.Simulations())
+	}
+	// Remote results match local results bit for bit (same deterministic
+	// simulation), so figures are identical either way.
+	local := NewRunner(tinyParams())
+	want, err := local.run(b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPI != want.CPI {
+		t.Fatalf("remote CPI %v != local CPI %v", out.CPI, want.CPI)
 	}
 }

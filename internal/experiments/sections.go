@@ -54,13 +54,13 @@ func RunTraffic(r *Runner) (*Traffic, error) {
 				if err != nil {
 					return nil, err
 				}
-				insts := float64(res.count.Get("retired"))
+				insts := float64(res.Counters["retired"])
 				if insts == 0 {
 					continue
 				}
-				w := float64(res.count.Get("coh.retried_writes")) / insts * 1e6
-				e := float64(res.count.Get("coh.retried_evictions")+
-					res.count.Get("coh.retried_evictions_l1")) / insts * 1e6
+				w := float64(res.Counters["coh.retried_writes"]) / insts * 1e6
+				e := float64(res.Counters["coh.retried_evictions"]+
+					res.Counters["coh.retried_evictions_l1"]) / insts * 1e6
 				wSum += w
 				eSum += e
 				if w > row.MaxWrites {
@@ -150,13 +150,13 @@ func RunCSTStudy(r *Runner) (*CSTStudy, error) {
 			if err != nil {
 				return nil, err
 			}
-			ratio = append(ratio, finite.cpi/infinite.cpi)
-			for _, hs := range finite.hw {
-				if !hs.hasCST {
+			ratio = append(ratio, finite.CPI/infinite.CPI)
+			for _, hs := range finite.HW {
+				if !hs.CST {
 					continue
 				}
-				l1Sum += hs.l1FP
-				dirSum += hs.dirFP
+				l1Sum += hs.L1FP
+				dirSum += hs.DirFP
 				n++
 			}
 		}
@@ -223,14 +223,14 @@ func RunCPTStudy(r *Runner) (*CPTStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, hs := range res.hw {
-			if !hs.hasCPT || hs.cptSamples == 0 {
+		for _, hs := range res.HW {
+			if !hs.CPT || hs.CPTSamples == 0 {
 				continue
 			}
-			occSum += hs.cptMean
+			occSum += hs.CPTMean
 			occN++
-			if hs.cptMax > out.MaxOccupancy {
-				out.MaxOccupancy = hs.cptMax
+			if hs.CPTMax > out.MaxOccupancy {
+				out.MaxOccupancy = hs.CPTMax
 			}
 		}
 		// Default CPT: measure overflow rate.
@@ -238,12 +238,12 @@ func RunCPTStudy(r *Runner) (*CPTStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, hs := range def.hw {
-			if !hs.hasCPT {
+		for _, hs := range def.HW {
+			if !hs.CPT {
 				continue
 			}
-			overflows += hs.cptOverflows
-			inserts += hs.cptInserts
+			overflows += hs.CPTOverflows
+			inserts += hs.CPTInserts
 		}
 	}
 	if occN > 0 {
@@ -332,7 +332,7 @@ func RunWdStudy(r *Runner) (*WdStudy, error) {
 					if err != nil {
 						return nil, err
 					}
-					norms = append(norms, res.cpi/base)
+					norms = append(norms, res.CPI/base)
 				}
 				o := stats.Overhead(stats.GeoMean(norms))
 				if wd == 2 {

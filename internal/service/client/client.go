@@ -1,0 +1,261 @@
+// Package client is the typed SDK for the plserved simulation service.
+// It speaks the service's HTTP API with retry/backoff around transient
+// failures (network errors, 5xx, and 429 backpressure honoring the
+// server's Retry-After hint). Submission is idempotent — job IDs are
+// content-addressed — so resubmitting after an ambiguous failure is
+// always safe, which is what makes the retries sound.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pinnedloads/internal/service"
+	"pinnedloads/internal/simrun"
+)
+
+// Client talks to one plserved instance. The zero retry/backoff fields
+// get sensible defaults from New.
+type Client struct {
+	// Base is the server's root URL, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP is the underlying transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Retries is how many times a transient failure is retried (default 4).
+	Retries int
+	// Backoff is the first retry delay; it doubles per attempt (default
+	// 250ms). A 429's Retry-After header overrides it.
+	Backoff time.Duration
+	// PollInterval is Wait's first poll delay; it grows 1.5x per poll up
+	// to PollMax (defaults 25ms and 2s).
+	PollInterval time.Duration
+	PollMax      time.Duration
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{
+		Base:         strings.TrimRight(base, "/"),
+		HTTP:         http.DefaultClient,
+		Retries:      4,
+		Backoff:      250 * time.Millisecond,
+		PollInterval: 25 * time.Millisecond,
+		PollMax:      2 * time.Second,
+	}
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// retryable reports whether a response code is worth retrying: explicit
+// backpressure, a draining server (another replica or a restart may
+// accept), or a transient 5xx.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// do issues one API request with the retry/backoff policy and decodes a
+// 2xx JSON body into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		httpc := c.HTTP
+		if httpc == nil {
+			httpc = http.DefaultClient
+		}
+		resp, err := httpc.Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			lastErr = fmt.Errorf("client: %w", err)
+			wait = backoff
+		default:
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = fmt.Errorf("client: %w", rerr)
+				wait = backoff
+				break
+			}
+			if resp.StatusCode < 300 {
+				if out == nil {
+					return nil
+				}
+				if err := json.Unmarshal(data, out); err != nil {
+					return fmt.Errorf("client: bad response body: %w", err)
+				}
+				return nil
+			}
+			var ae struct {
+				Error string `json:"error"`
+			}
+			json.Unmarshal(data, &ae)
+			if ae.Error == "" {
+				ae.Error = strings.TrimSpace(string(data))
+			}
+			serr := &StatusError{Code: resp.StatusCode, Message: ae.Error}
+			if !retryable(resp.StatusCode) {
+				return serr
+			}
+			lastErr = serr
+			wait = backoff
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+		}
+		if attempt >= c.Retries {
+			return lastErr
+		}
+		backoff *= 2
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return fmt.Errorf("client: %w", ctx.Err())
+		}
+	}
+}
+
+// Submit registers the job and returns its status (which may already be
+// terminal on a cache or dedup hit).
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return service.JobStatus{}, fmt.Errorf("client: %w", err)
+	}
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Get fetches a job's current status.
+func (c *Client) Get(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Wait polls until the job is terminal (or ctx ends). The poll interval
+// starts small and grows geometrically, so short jobs return quickly and
+// long ones do not hammer the server.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	max := c.PollMax
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return service.JobStatus{}, fmt.Errorf("client: %w", ctx.Err())
+		}
+		if interval = interval * 3 / 2; interval > max {
+			interval = max
+		}
+	}
+}
+
+// Run submits the job and waits for its result — the round trip the
+// experiment runner's Remote hook needs. A failed job becomes an error.
+func (c *Client) Run(ctx context.Context, spec service.JobSpec) (*simrun.Output, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return nil, err
+		}
+	}
+	if st.State != service.StateDone {
+		return nil, fmt.Errorf("client: job %s failed: %s", st.ID, st.Error)
+	}
+	return st.Result, nil
+}
+
+// Trace downloads a done job's Chrome trace JSON.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Metrics fetches the server's counters as a name -> value map.
+func (c *Client) Metrics(ctx context.Context) (map[string]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	m := make(map[string]uint64)
+	for _, line := range strings.Split(string(data), "\n") {
+		name, val, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad metrics line %q", line)
+		}
+		m[name] = v
+	}
+	return m, nil
+}

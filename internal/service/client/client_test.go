@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pinnedloads/internal/service"
+)
+
+func fastClient(base string) *Client {
+	c := New(base)
+	c.Backoff = time.Millisecond
+	c.PollInterval = time.Millisecond
+	return c
+}
+
+// TestRunAgainstRealService drives the full SDK round trip against an
+// in-process service instance.
+func TestRunAgainstRealService(t *testing.T) {
+	s := service.New(service.Options{Workers: 2})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	c := fastClient(ts.URL)
+	ctx := context.Background()
+	spec := service.JobSpec{Benchmark: "gcc_r", Scheme: "fence", Variant: "ep",
+		Warmup: 500, Measure: 2000}
+	out, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPI <= 0 || out.Insts != 2000 {
+		t.Fatalf("implausible result %+v", out)
+	}
+	// The resubmit is served from cache/dedup; metrics confirm a single
+	// execution.
+	if _, err := c.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["svc.executed"] != 1 {
+		t.Fatalf("svc.executed = %d, want 1", m["svc.executed"])
+	}
+}
+
+// TestRetryOn429HonorsRetryAfter serves two 429s with a zero-second
+// Retry-After and then succeeds; the client must come back.
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(service.JobStatus{ID: "abc", State: service.StateQueued})
+	}))
+	defer fake.Close()
+	c := fastClient(fake.URL)
+	st, err := c.Submit(context.Background(), service.JobSpec{Benchmark: "gcc_r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "abc" || hits.Load() != 3 {
+		t.Fatalf("st=%+v hits=%d, want success on 3rd attempt", st, hits.Load())
+	}
+}
+
+// TestRetryOn5xxAndGiveUp checks transient 5xx retries and that the
+// retry budget is finite.
+func TestRetryOn5xxAndGiveUp(t *testing.T) {
+	var hits atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer fake.Close()
+	c := fastClient(fake.URL)
+	c.Retries = 2
+	_, err := c.Get(context.Background(), "abc")
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError 500", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("hits = %d, want 1 try + 2 retries", hits.Load())
+	}
+}
+
+// TestNoRetryOn4xx checks a permanent client error is not retried.
+func TestNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown job"})
+	}))
+	defer fake.Close()
+	c := fastClient(fake.URL)
+	_, err := c.Get(context.Background(), "missing")
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d, want exactly 1 (no retry)", hits.Load())
+	}
+}
+
+// TestRunReportsJobFailure turns a failed job into a client error.
+func TestRunReportsJobFailure(t *testing.T) {
+	s := service.New(service.Options{Workers: 1, JobTimeout: 30 * time.Millisecond})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	c := fastClient(ts.URL)
+	_, err := c.Run(context.Background(), service.JobSpec{
+		Benchmark: "gcc_r", Measure: 1 << 40})
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("err = %v, want job failure", err)
+	}
+}

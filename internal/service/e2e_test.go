@@ -1,0 +1,91 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pinnedloads"
+	"pinnedloads/internal/service"
+	"pinnedloads/internal/simrun"
+)
+
+// TestServiceMatchesInProcessRun is the end-to-end acceptance check: a
+// job computed through the HTTP service yields a byte-identical result
+// CSV to the same spec run in-process through the public library API.
+func TestServiceMatchesInProcessRun(t *testing.T) {
+	const warmup, measure = 1000, 5000
+
+	// In-process reference through the public API.
+	res, err := pinnedloads.Run(pinnedloads.RunSpec{
+		Benchmark: "mcf_r",
+		Scheme:    pinnedloads.DOM,
+		Variant:   pinnedloads.LP,
+		Warmup:    warmup,
+		Measure:   measure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := simrun.Output{CPI: res.CPI, Cycles: res.Cycles, Insts: res.Insts,
+		Counters: res.Counters.Snapshot()}
+
+	// The same spec through the service.
+	s := service.New(service.Options{Workers: 1})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	body, _ := json.Marshal(service.JobSpec{
+		Benchmark: "mcf_r", Scheme: "dom", Variant: "lp",
+		Warmup: warmup, Measure: measure,
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", st.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("service job failed: %+v", st)
+	}
+	got, want := st.Result.MarshalCSV(), ref.MarshalCSV()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("service result CSV differs from in-process run\nservice:\n%s\nin-process:\n%s", got, want)
+	}
+
+	// The content-addressed IDs agree across the two front doors.
+	key, err := pinnedloads.SpecKey(pinnedloads.RunSpec{
+		Benchmark: "mcf_r", Scheme: pinnedloads.DOM, Variant: pinnedloads.LP,
+		Warmup: warmup, Measure: measure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != st.ID {
+		t.Fatalf("library SpecKey %s != service job ID %s", key, st.ID)
+	}
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pinnedloads/internal/obs"
+)
+
+// apiError is the JSON body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs            submit a JobSpec; 202 queued, 200 cached/known,
+//	                         400 bad spec, 429+Retry-After queue full,
+//	                         503 draining
+//	GET  /v1/jobs/{id}       job status (404 unknown)
+//	GET  /v1/jobs/{id}/trace Chrome trace of a done job's event stream
+//	GET  /healthz            liveness (503 once draining)
+//	GET  /metrics            service counters as name=value lines
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+		return
+	}
+	st, err := s.Submit(&spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(s.opt.RetryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A brand-new job is 202 Accepted; anything already known (deduped,
+	// cache hit, finished earlier) is 200.
+	code := http.StatusOK
+	if st.State == StateQueued {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("service: job %s is %s, trace needs a done job", id, st.State))
+		return
+	}
+	if st.Result == nil || len(st.Result.Events) == 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: job %s recorded no events; submit with trace_buffer > 0", id))
+		return
+	}
+	cores := 0
+	if st.Spec.Config != nil {
+		cores = st.Spec.Config.Cores
+	}
+	short := id
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", short+".trace.json"))
+	if err := obs.WriteChromeTrace(w, st.Result.Events, cores); err != nil {
+		// Headers are gone; nothing to do but log via a counter.
+		s.count("svc.trace_write_errors")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, capacity := s.QueueDepth()
+	body := map[string]any{
+		"status":         "ok",
+		"draining":       s.Draining(),
+		"queue_depth":    queued,
+		"queue_capacity": capacity,
+		"workers":        s.opt.Workers,
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}

@@ -1,0 +1,386 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pinnedloads/internal/simcache"
+	"pinnedloads/internal/simrun"
+	"pinnedloads/internal/stats"
+)
+
+// State is a job's lifecycle position. Jobs move strictly
+// queued -> running -> done | failed; a cache-served job is born done.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size (default: all CPUs).
+	Workers int
+	// QueueDepth bounds how many jobs may wait for a worker (default 64).
+	// A submit beyond the bound is rejected with ErrQueueFull — the HTTP
+	// layer maps it to 429 + Retry-After.
+	QueueDepth int
+	// JobTimeout bounds one job's simulation time via context deadline
+	// (0 = unbounded).
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint returned with queue-full rejections
+	// (default 2s).
+	RetryAfter time.Duration
+	// Cache stores results by job ID (default: unbounded in-memory).
+	Cache simcache.Cache
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull rejects a submit when every queue slot is taken.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrDraining rejects submits after Drain began.
+	ErrDraining = errors.New("service: server is draining")
+)
+
+// Server owns the job registry, the bounded queue and the worker pool.
+// Create with New, start with Start, serve its API via Handler, stop with
+// Drain (graceful) and/or Close (abandon in-flight work).
+type Server struct {
+	opt   Options
+	cache simcache.Cache
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    chan *job
+	draining bool
+
+	workers sync.WaitGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	cmu      sync.Mutex
+	counters stats.Counters
+}
+
+// job is one tracked simulation. Its fields are guarded by the server
+// mutex; done closes when the job reaches a terminal state.
+type job struct {
+	id       string
+	spec     JobSpec
+	state    State
+	err      string
+	out      *simrun.Output
+	cacheHit bool
+	done     chan struct{}
+}
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	State    State   `json:"state"`
+	Spec     JobSpec `json:"spec"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	// Result is set once State is "done".
+	Result *simrun.Output `json:"result,omitempty"`
+}
+
+// New builds a server; call Start to launch its workers.
+func New(opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 64
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = 2 * time.Second
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = simcache.NewMemory(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opt:     opt,
+		cache:   cache,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, opt.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.opt.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Submit registers the spec as a job and returns its status. Submission
+// is idempotent by content: an identical spec maps to the same job ID,
+// and a resubmit attaches to the existing job (or its cached result)
+// instead of simulating again. ErrQueueFull and ErrDraining report
+// backpressure; the spec is normalized in place.
+func (s *Server) Submit(spec *JobSpec) (JobStatus, error) {
+	if err := spec.Normalize(); err != nil {
+		return JobStatus{}, err
+	}
+	id := spec.Key()
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		st := s.snapshotLocked(j)
+		s.mu.Unlock()
+		s.count("svc.dedup_hits")
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	// Cache probe happens outside the lock (it may touch disk).
+	if out, ok, err := s.cache.Get(id); err == nil && ok {
+		s.mu.Lock()
+		if _, exists := s.jobs[id]; !exists {
+			s.jobs[id] = &job{id: id, spec: *spec, state: StateDone, out: out,
+				cacheHit: true, done: closedChan()}
+		}
+		st := s.snapshotLocked(s.jobs[id])
+		s.mu.Unlock()
+		s.count("svc.cache_hits")
+		return st, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok { // lost a race with an identical submit
+		s.count("svc.dedup_hits")
+		return s.snapshotLocked(j), nil
+	}
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	j := &job{id: id, spec: *spec, state: StateQueued, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.count("svc.submitted")
+		return s.snapshotLocked(j), nil
+	default:
+		s.count("svc.rejected")
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// Job returns the status of a job by ID. Unknown IDs fall back to the
+// result cache, so completed work survives a registry restart.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		st := s.snapshotLocked(j)
+		s.mu.Unlock()
+		return st, true
+	}
+	s.mu.Unlock()
+	out, ok, err := s.cache.Get(id)
+	if err != nil || !ok {
+		return JobStatus{}, false
+	}
+	// The cache has the result but not the spec (the registry entry is
+	// gone); report what is known.
+	return JobStatus{ID: id, State: StateDone, CacheHit: true, Result: out}, true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		if st, found := s.Job(id); found {
+			return st, nil
+		}
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(j), nil
+}
+
+// runJob executes one queued job on a worker.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	s.mu.Unlock()
+
+	// A result may have landed in the cache between submit and execution
+	// (e.g. a shared disk cache filled by another daemon).
+	if out, ok, err := s.cache.Get(j.id); err == nil && ok {
+		s.count("svc.cache_hits")
+		s.finish(j, out, true, nil)
+		return
+	}
+
+	ctx := s.baseCtx
+	if s.opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.JobTimeout)
+		defer cancel()
+	}
+	w, err := j.spec.workload()
+	if err != nil {
+		s.finish(j, nil, false, err)
+		return
+	}
+	pol, err := j.spec.policy()
+	if err != nil {
+		s.finish(j, nil, false, err)
+		return
+	}
+	out, err := simrun.Execute(ctx, w, pol, j.spec.Config, simrun.Params{
+		Seed:        j.spec.Seed,
+		Warmup:      j.spec.Warmup,
+		Measure:     j.spec.Measure,
+		TraceBuffer: j.spec.TraceBuffer,
+	})
+	if err == nil {
+		s.count("svc.executed")
+		if perr := s.cache.Put(j.id, out); perr != nil {
+			s.count("svc.cache_write_errors")
+		}
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		s.count("svc.timeouts")
+	}
+	s.finish(j, out, false, err)
+}
+
+// finish moves a job to its terminal state and wakes waiters.
+func (s *Server) finish(j *job, out *simrun.Output, cacheHit bool, err error) {
+	s.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+		s.count("svc.failed")
+	} else {
+		j.state = StateDone
+		j.out = out
+		j.cacheHit = cacheHit
+		s.count("svc.completed")
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Drain stops accepting jobs, lets the workers finish everything already
+// queued or running, and returns when the pool is idle (or ctx expires,
+// in which case in-flight jobs keep running until Close).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // all sends hold s.mu and check draining first
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// Close cancels in-flight simulations (their jobs fail with a context
+// error) and releases the server. Use Drain first for a graceful stop.
+func (s *Server) Close() {
+	s.cancel()
+	s.Drain(context.Background())
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns (queued, capacity).
+func (s *Server) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+
+// snapshotLocked copies a job into its wire form; callers hold s.mu.
+func (s *Server) snapshotLocked(j *job) JobStatus {
+	st := JobStatus{ID: j.id, State: j.state, Spec: j.spec,
+		CacheHit: j.cacheHit, Error: j.err}
+	if j.state == StateDone {
+		st.Result = j.out
+	}
+	return st
+}
+
+// count bumps a service counter (stats.Counters is not concurrency-safe,
+// so all increments funnel through one mutex).
+func (s *Server) count(name string) {
+	s.cmu.Lock()
+	s.counters.Inc(name)
+	s.cmu.Unlock()
+}
+
+// Metrics renders every service counter plus live gauges as sorted
+// name=value lines — the /metrics wire format.
+func (s *Server) Metrics() string {
+	s.cmu.Lock()
+	snap := s.counters.Snapshot()
+	s.cmu.Unlock()
+	s.mu.Lock()
+	snap["svc.jobs"] = uint64(len(s.jobs))
+	s.mu.Unlock()
+	snap["svc.queue_depth"] = uint64(len(s.queue))
+	snap["svc.queue_capacity"] = uint64(cap(s.queue))
+	snap["svc.workers"] = uint64(s.opt.Workers)
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, snap[n])
+	}
+	return b.String()
+}
+
+// closedChan returns an already-closed channel for cache-born jobs.
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}

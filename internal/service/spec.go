@@ -1,0 +1,166 @@
+// Package service turns the simulator into a long-lived networked
+// service: a bounded job queue feeding a worker pool, a content-addressed
+// result cache (speckey job IDs over the simcache backends), and an HTTP
+// API with explicit backpressure and graceful drain. cmd/plserved is the
+// daemon around it and service/client the typed SDK.
+package service
+
+import (
+	"fmt"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/simrun"
+	"pinnedloads/internal/speckey"
+	"pinnedloads/internal/trace"
+)
+
+// JobSpec is the wire description of one simulation job. The zero values
+// of the optional fields mean: scheme "unsafe", variant "comp", the
+// variant's natural VP condition set, seed 1, the library's default
+// warmup/measure instruction counts, no event tracing, and the paper
+// machine configuration at the benchmark's core count.
+type JobSpec struct {
+	// Benchmark names a registered proxy (e.g. "gcc_r"); required.
+	Benchmark string `json:"benchmark"`
+	// Scheme and Variant are the paper's names, case-insensitive
+	// ("fence", "EP", ...).
+	Scheme  string `json:"scheme,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	// Conds overrides the VP condition mask ("ctrl", "alias",
+	// "exception", "mcv"); empty means the variant's natural set.
+	Conds []string `json:"conds,omitempty"`
+	Seed  uint64   `json:"seed,omitempty"`
+	// Warmup and Measure are per-core instruction counts.
+	Warmup  int64 `json:"warmup,omitempty"`
+	Measure int64 `json:"measure,omitempty"`
+	// TraceBuffer, when positive, records the structured event stream
+	// (result gains Events; GET /v1/jobs/{id}/trace serves it as a Chrome
+	// trace).
+	TraceBuffer int `json:"trace_buffer,omitempty"`
+	// Config overrides the machine configuration.
+	Config *arch.Config `json:"config,omitempty"`
+}
+
+// Normalize validates the spec and rewrites it into canonical form:
+// names in their paper casing, every defaulted field made explicit
+// (including the effective machine configuration), and the VP condition
+// mask fully resolved. Two specs describing the same simulation normalize
+// to identical values, which is what makes Key content-addressed.
+func (s *JobSpec) Normalize() error {
+	if s.Benchmark == "" {
+		return fmt.Errorf("service: job spec needs a benchmark")
+	}
+	w := trace.ByName(s.Benchmark)
+	if w == nil {
+		return fmt.Errorf("service: unknown benchmark %q", s.Benchmark)
+	}
+	if s.Scheme == "" {
+		s.Scheme = defense.Unsafe.String()
+	}
+	sch, err := defense.ParseScheme(s.Scheme)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.Scheme = sch.String()
+	if s.Variant == "" {
+		s.Variant = defense.Comp.String()
+	}
+	v, err := defense.ParseVariant(s.Variant)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.Variant = v.String()
+	var mask defense.Cond
+	for _, name := range s.Conds {
+		c, err := defense.ParseCond(name)
+		if err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+		mask |= c
+	}
+	pol := defense.Policy{Scheme: sch, Variant: v, Conds: mask}
+	s.Conds = pol.VPConds().Names()
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Warmup == 0 {
+		s.Warmup = simrun.DefaultWarmup
+	}
+	if s.Measure == 0 {
+		s.Measure = simrun.DefaultMeasure
+	}
+	switch {
+	case s.Warmup < 0:
+		return fmt.Errorf("service: warmup must be >= 0, got %d", s.Warmup)
+	case s.Measure < 0:
+		return fmt.Errorf("service: measure must be > 0, got %d", s.Measure)
+	case s.TraceBuffer < 0:
+		return fmt.Errorf("service: trace_buffer must be >= 0, got %d", s.TraceBuffer)
+	}
+	if s.Config == nil {
+		cfg := arch.PaperConfig(w.Cores())
+		s.Config = &cfg
+	} else if s.Config.Cores < w.Cores() {
+		// The simulator raises the core count to the workload's; make the
+		// effective configuration explicit so the key reflects it.
+		cfg := *s.Config
+		cfg.Cores = w.Cores()
+		s.Config = &cfg
+	}
+	if err := s.Config.Validate(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+// Key returns the job's content-addressed ID. The spec must have been
+// normalized.
+func (s JobSpec) Key() string {
+	pol, err := s.policy()
+	if err != nil {
+		// Normalize validated the names; reaching this is a caller bug.
+		panic(fmt.Sprintf("service: Key on unnormalized spec: %v", err))
+	}
+	return speckey.Spec{
+		Benchmark:   s.Benchmark,
+		Scheme:      pol.Scheme.String(),
+		Variant:     pol.Variant.String(),
+		Conds:       uint8(pol.VPConds()),
+		Seed:        s.Seed,
+		Warmup:      s.Warmup,
+		Measure:     s.Measure,
+		TraceBuffer: s.TraceBuffer,
+		Config:      s.Config,
+	}.Key()
+}
+
+// policy parses the spec's defense policy.
+func (s JobSpec) policy() (defense.Policy, error) {
+	sch, err := defense.ParseScheme(s.Scheme)
+	if err != nil {
+		return defense.Policy{}, err
+	}
+	v, err := defense.ParseVariant(s.Variant)
+	if err != nil {
+		return defense.Policy{}, err
+	}
+	var mask defense.Cond
+	for _, name := range s.Conds {
+		c, err := defense.ParseCond(name)
+		if err != nil {
+			return defense.Policy{}, err
+		}
+		mask |= c
+	}
+	return defense.Policy{Scheme: sch, Variant: v, Conds: mask}, nil
+}
+
+// workload resolves the spec's benchmark proxy.
+func (s JobSpec) workload() (trace.Source, error) {
+	w := trace.ByName(s.Benchmark)
+	if w == nil {
+		return nil, fmt.Errorf("service: unknown benchmark %q", s.Benchmark)
+	}
+	return w, nil
+}

@@ -1,0 +1,290 @@
+// Package simcache stores simulation results keyed by their speckey
+// content address. It provides the Cache interface with three backends —
+// a bounded in-memory LRU, a crash-safe on-disk store, and a tiered
+// combination — plus Memo, the singleflight layer that guarantees each
+// key simulates at most once across concurrent requesters. The experiment
+// runner's memoization and the simulation service's result cache are both
+// built from these pieces, so they share keys and semantics.
+package simcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pinnedloads/internal/simrun"
+)
+
+// Cache stores simulation outputs by content-addressed key. Get returns
+// (nil, false, nil) for a miss; backends return errors only for real I/O
+// failures, never for absence or for corrupt entries (those are misses).
+// Implementations are safe for concurrent use.
+type Cache interface {
+	Get(key string) (*simrun.Output, bool, error)
+	Put(key string, out *simrun.Output) error
+}
+
+// Memory is a bounded in-memory LRU cache. The zero bound means
+// unbounded, which is what the experiment runner uses (its working set is
+// one figure sweep); the service bounds it and spills to disk.
+type Memory struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *memEntry
+	entries map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	out *simrun.Output
+}
+
+// NewMemory returns an LRU cache holding at most max entries (max <= 0
+// means unbounded).
+func NewMemory(max int) *Memory {
+	return &Memory{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached output and promotes the entry.
+func (m *Memory) Get(key string) (*simrun.Output, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		return nil, false, nil
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memEntry).out, true, nil
+}
+
+// Put stores the output, evicting the least recently used entry when the
+// bound is exceeded.
+func (m *Memory) Put(key string, out *simrun.Output) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*memEntry).out = out
+		m.order.MoveToFront(el)
+		return nil
+	}
+	m.entries[key] = m.order.PushFront(&memEntry{key: key, out: out})
+	if m.max > 0 && m.order.Len() > m.max {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memEntry).key)
+	}
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// diskEnvelope is the on-disk entry format: the result bytes plus their
+// digest, so a torn or truncated write is detected on read.
+type diskEnvelope struct {
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// diskVersion is bumped when the envelope or Output encoding changes.
+const diskVersion = 1
+
+// Disk is a crash-safe on-disk cache: one JSON file per key, written to a
+// temp file in the same directory and atomically renamed into place, with
+// an embedded checksum over the result payload. A partially written,
+// truncated or otherwise corrupt entry is treated as a miss and deleted,
+// so the job recomputes instead of serving garbage.
+type Disk struct {
+	dir string
+}
+
+// NewDisk returns a disk cache rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// path maps a key to its entry file. Keys are hex digests, but guard
+// against path traversal anyway by refusing separators.
+func (d *Disk) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("simcache: invalid key %q", key)
+	}
+	return filepath.Join(d.dir, key+".json"), nil
+}
+
+// Get loads and verifies an entry; corrupt entries are removed and
+// reported as misses.
+func (d *Disk) Get(key string) (*simrun.Output, bool, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("simcache: %w", err)
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		os.Remove(p)
+		return nil, false, nil
+	}
+	sum := sha256.Sum256(env.Result)
+	if env.Version != diskVersion || env.SHA256 != hex.EncodeToString(sum[:]) {
+		os.Remove(p)
+		return nil, false, nil
+	}
+	var out simrun.Output
+	if err := json.Unmarshal(env.Result, &out); err != nil {
+		os.Remove(p)
+		return nil, false, nil
+	}
+	return &out, true, nil
+}
+
+// Put writes the entry crash-safely: temp file, fsync, rename.
+func (d *Disk) Put(key string, out *simrun.Output) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(diskEnvelope{
+		Version: diskVersion,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Result:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	return nil
+}
+
+// Tiered layers a fast cache over a slow one: gets that miss fast but hit
+// slow are promoted; puts write through to both.
+type Tiered struct {
+	fast, slow Cache
+}
+
+// NewTiered returns the layered cache.
+func NewTiered(fast, slow Cache) *Tiered { return &Tiered{fast: fast, slow: slow} }
+
+// Get checks fast then slow, promoting slow hits.
+func (t *Tiered) Get(key string) (*simrun.Output, bool, error) {
+	if out, ok, err := t.fast.Get(key); ok || err != nil {
+		return out, ok, err
+	}
+	out, ok, err := t.slow.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := t.fast.Put(key, out); err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Put writes through to both tiers.
+func (t *Tiered) Put(key string, out *simrun.Output) error {
+	if err := t.fast.Put(key, out); err != nil {
+		return err
+	}
+	return t.slow.Put(key, out)
+}
+
+// Memo adds singleflight execution on top of a Cache: the first requester
+// of a key runs the compute function, concurrent requesters for the same
+// key block and share the result, and completed results are served from
+// the cache. A failed computation is memoized permanently (its flight
+// entry is retained), so a key that errored once reports the same error
+// without re-executing — the experiment pool depends on this to fail fast
+// across a sweep.
+type Memo struct {
+	cache   Cache
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	out  *simrun.Output
+	err  error
+}
+
+// NewMemo wraps the cache with singleflight memoization.
+func NewMemo(c Cache) *Memo {
+	return &Memo{cache: c, flights: make(map[string]*flight)}
+}
+
+// Do returns the cached output for key, or executes fn exactly once to
+// compute it (concurrent callers share the one execution).
+func (m *Memo) Do(key string, fn func() (*simrun.Output, error)) (*simrun.Output, error) {
+	m.mu.Lock()
+	if f, ok := m.flights[key]; ok {
+		m.mu.Unlock()
+		<-f.done
+		return f.out, f.err
+	}
+	if out, ok, err := m.cache.Get(key); ok && err == nil {
+		m.mu.Unlock()
+		return out, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	m.flights[key] = f
+	m.mu.Unlock()
+
+	f.out, f.err = fn()
+	if f.err == nil {
+		if err := m.cache.Put(key, f.out); err != nil {
+			f.err = err
+		}
+	}
+	if f.err == nil {
+		// Success lives in the cache; drop the flight so memory follows
+		// the cache's eviction policy rather than growing forever.
+		m.mu.Lock()
+		delete(m.flights, key)
+		m.mu.Unlock()
+	}
+	close(f.done)
+	return f.out, f.err
+}

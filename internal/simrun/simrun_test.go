@@ -1,0 +1,96 @@
+package simrun
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/trace"
+)
+
+var tiny = Params{Seed: 1, Warmup: 500, Measure: 2000}
+
+func TestExecuteSnapshots(t *testing.T) {
+	b := trace.ByName("gcc_r")
+	out, err := Execute(context.Background(), b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPI <= 0 || out.Cycles <= 0 || out.Insts != tiny.Measure {
+		t.Fatalf("implausible output %+v", out)
+	}
+	if out.Counters["retired"] == 0 {
+		t.Fatal("counters not snapshotted")
+	}
+	if len(out.HW) != b.Cores() || !out.HW[0].CST {
+		t.Fatalf("EP run lacks CST hardware stats: %+v", out.HW)
+	}
+}
+
+// TestExecuteDeterministicJSON round-trips an Output through JSON and
+// checks the CSV artifact is byte-identical — the property the service's
+// disk cache and the plctl CSV path rely on.
+func TestExecuteDeterministicJSON(t *testing.T) {
+	b := trace.ByName("leela_r")
+	out, err := Execute(context.Background(), b, defense.Policy{Scheme: defense.Unsafe}, nil, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Output
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.MarshalCSV(), back.MarshalCSV()) {
+		t.Fatal("CSV differs after a JSON round trip")
+	}
+	csv := string(out.MarshalCSV())
+	if !strings.HasPrefix(csv, "metric,value\ncpi,") || !strings.Contains(csv, "counter.retired,") {
+		t.Fatalf("unexpected CSV shape:\n%s", csv)
+	}
+}
+
+func TestExecuteTraceBuffer(t *testing.T) {
+	b := trace.ByName("gcc_r")
+	p := tiny
+	p.TraceBuffer = 1 << 12
+	out, err := Execute(context.Background(), b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) == 0 {
+		t.Fatal("trace buffer enabled but no events recorded")
+	}
+}
+
+func TestExecuteCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Execute(ctx, trace.ByName("gcc_r"), defense.Policy{Scheme: defense.Unsafe}, nil,
+		Params{Seed: 1, Warmup: 0, Measure: 1 << 40})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+type panicSource struct{}
+
+func (panicSource) Name() string { return "panic-src" }
+func (panicSource) Cores() int   { return 1 }
+func (panicSource) Generator(core int, seed uint64) trace.Generator {
+	panic("generator exploded")
+}
+
+func TestExecuteRecoversPanic(t *testing.T) {
+	_, err := Execute(context.Background(), panicSource{}, defense.Policy{Scheme: defense.Unsafe}, nil, tiny)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want recovered panic", err)
+	}
+}

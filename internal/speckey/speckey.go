@@ -1,0 +1,117 @@
+// Package speckey derives content-addressed identifiers for simulation
+// runs. A Spec captures everything that determines a run's outcome — the
+// benchmark, the defense policy, the machine configuration, the seed and
+// the instruction counts — and Key hashes a canonical, versioned encoding
+// of it into a stable hex identifier.
+//
+// The same key function backs the experiment runner's memoization cache
+// and the simulation service's content-addressed job IDs and result
+// cache, so a result computed by one consumer is addressable by every
+// other. Canonical encodings are injective: two Specs share a key only if
+// every field (including every machine-configuration field) is identical.
+// Version is part of the encoding; bump it whenever the meaning of a run
+// changes (new Spec or Config fields, simulator behaviour changes that
+// invalidate cached results), which retires every previously issued key.
+package speckey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"pinnedloads/internal/arch"
+)
+
+// Version prefixes every canonical encoding. Bumping it invalidates all
+// previously derived keys (and therefore all cached results).
+const Version = "plspec-v1"
+
+// Spec is the canonical description of one simulation run. Scheme and
+// Variant are the paper's names (e.g. "Fence", "EP") rather than enum
+// values so the key does not depend on internal numbering; Conds is the
+// resolved Visibility-Point condition mask. Config must be the effective
+// machine configuration (resolve defaults before keying — a nil Config is
+// encoded as such, so nil and an explicit default-valued Config produce
+// different keys).
+type Spec struct {
+	Benchmark   string
+	Scheme      string
+	Variant     string
+	Conds       uint8
+	Seed        uint64
+	Warmup      int64
+	Measure     int64
+	TraceBuffer int
+	Config      *arch.Config
+}
+
+// Canonical returns the versioned canonical encoding of the spec. Every
+// field is emitted as |name=len:value with the value's byte length, so the
+// encoding is injective regardless of the bytes inside values.
+func (s Spec) Canonical() string {
+	var b strings.Builder
+	b.WriteString(Version)
+	field := func(name, val string) {
+		fmt.Fprintf(&b, "|%s=%d:%s", name, len(val), val)
+	}
+	field("bench", s.Benchmark)
+	field("scheme", s.Scheme)
+	field("variant", s.Variant)
+	field("conds", strconv.FormatUint(uint64(s.Conds), 10))
+	field("seed", strconv.FormatUint(s.Seed, 10))
+	field("warmup", strconv.FormatInt(s.Warmup, 10))
+	field("measure", strconv.FormatInt(s.Measure, 10))
+	field("trace", strconv.Itoa(s.TraceBuffer))
+	field("config", ConfigCanonical(s.Config))
+	return b.String()
+}
+
+// Key returns the spec's content-addressed identifier: the hex SHA-256 of
+// the canonical encoding.
+func (s Spec) Key() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ConfigCanonical encodes a machine configuration as name=value pairs in
+// struct-declaration order ("" for nil). Walking the fields by name means
+// adding a field to arch.Config automatically changes every encoding (and
+// thus every key) instead of silently aliasing old results; the paired
+// test pins the current field set so additions are a conscious decision.
+func ConfigCanonical(cfg *arch.Config) string {
+	if cfg == nil {
+		return ""
+	}
+	v := reflect.ValueOf(*cfg)
+	t := v.Type()
+	var b strings.Builder
+	for i := 0; i < t.NumField(); i++ {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(t.Field(i).Name)
+		b.WriteByte('=')
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			b.WriteString(strconv.FormatInt(f.Int(), 10))
+		case reflect.Float64:
+			b.WriteString(strconv.FormatFloat(f.Float(), 'g', -1, 64))
+		case reflect.Bool:
+			if f.Bool() {
+				b.WriteByte('t')
+			} else {
+				b.WriteByte('f')
+			}
+		default:
+			// A new field kind needs an explicit canonical form; refuse to
+			// guess one silently.
+			panic(fmt.Sprintf("speckey: unsupported arch.Config field kind %s (%s)",
+				f.Kind(), t.Field(i).Name))
+		}
+	}
+	return b.String()
+}

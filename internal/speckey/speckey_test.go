@@ -1,0 +1,107 @@
+package speckey
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/arch"
+)
+
+func baseSpec() Spec {
+	cfg := arch.PaperConfig(1)
+	return Spec{
+		Benchmark: "gcc_r", Scheme: "Fence", Variant: "EP", Conds: 15,
+		Seed: 1, Warmup: 2000, Measure: 8000, Config: &cfg,
+	}
+}
+
+// TestKeyStable pins the canonical encoding's shape: identical specs give
+// identical keys, and the version prefix is present.
+func TestKeyStable(t *testing.T) {
+	a, b := baseSpec(), baseSpec()
+	if a.Key() != b.Key() {
+		t.Fatal("identical specs produced different keys")
+	}
+	if len(a.Key()) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", a.Key())
+	}
+	if !strings.HasPrefix(a.Canonical(), Version+"|") {
+		t.Fatalf("canonical encoding %q lacks the version prefix", a.Canonical())
+	}
+}
+
+// TestKeyDistinguishesEveryField mutates each Spec field in turn and
+// checks the key changes: a collision requires identical specs.
+func TestKeyDistinguishesEveryField(t *testing.T) {
+	base := baseSpec()
+	mutations := map[string]func(*Spec){
+		"Benchmark":   func(s *Spec) { s.Benchmark = "mcf_r" },
+		"Scheme":      func(s *Spec) { s.Scheme = "DOM" },
+		"Variant":     func(s *Spec) { s.Variant = "LP" },
+		"Conds":       func(s *Spec) { s.Conds = 1 },
+		"Seed":        func(s *Spec) { s.Seed = 2 },
+		"Warmup":      func(s *Spec) { s.Warmup = 2001 },
+		"Measure":     func(s *Spec) { s.Measure = 8001 },
+		"TraceBuffer": func(s *Spec) { s.TraceBuffer = 1024 },
+		"Config":      func(s *Spec) { s.Config = nil },
+	}
+	for name, mutate := range mutations {
+		s := baseSpec()
+		mutate(&s)
+		if s.Key() == base.Key() {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+}
+
+// TestKeyInjectiveAcrossFieldBoundaries checks that the length-prefixed
+// encoding keeps adjacent string fields apart: moving a byte from one
+// field into the next must change the key even though the concatenated
+// bytes are identical.
+func TestKeyInjectiveAcrossFieldBoundaries(t *testing.T) {
+	a := Spec{Benchmark: "ab", Scheme: ""}
+	b := Spec{Benchmark: "a", Scheme: "b"}
+	if a.Key() == b.Key() {
+		t.Fatal("field-boundary shift collided")
+	}
+}
+
+// TestConfigCanonicalCoversEveryField mutates each arch.Config field via
+// reflection and checks the canonical config encoding changes, so a
+// config tweak can never alias another config's cached results.
+func TestConfigCanonicalCoversEveryField(t *testing.T) {
+	base := arch.PaperConfig(8)
+	baseEnc := ConfigCanonical(&base)
+	v := reflect.ValueOf(&base).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		cfg := base
+		f := reflect.ValueOf(&cfg).Elem().Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(f.Int() + 1)
+		case reflect.Float64:
+			f.SetFloat(f.Float() + 0.5)
+		case reflect.Bool:
+			f.SetBool(!f.Bool())
+		}
+		if enc := ConfigCanonical(&cfg); enc == baseEnc {
+			t.Errorf("mutating Config.%s did not change the encoding",
+				v.Type().Field(i).Name)
+		}
+	}
+	if ConfigCanonical(nil) != "" {
+		t.Fatal("nil config must encode empty")
+	}
+}
+
+// TestConfigFieldSetPinned fails when arch.Config gains a field, forcing
+// the author to confirm the canonical encoding covers it (reflection does
+// that automatically) and to consider whether Version must be bumped to
+// retire keys derived before the field existed.
+func TestConfigFieldSetPinned(t *testing.T) {
+	if n := reflect.TypeOf(arch.Config{}).NumField(); n != 35 {
+		t.Fatalf("arch.Config has %d fields (expected 35): update this pin and "+
+			"bump speckey.Version if cached results are invalidated", n)
+	}
+}

@@ -25,7 +25,9 @@
 package pinnedloads
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 
 	"pinnedloads/internal/arch"
 	"pinnedloads/internal/core"
@@ -33,6 +35,8 @@ import (
 	"pinnedloads/internal/isa"
 	"pinnedloads/internal/obs"
 	"pinnedloads/internal/pin"
+	"pinnedloads/internal/simrun"
+	"pinnedloads/internal/speckey"
 	"pinnedloads/internal/stats"
 	"pinnedloads/internal/trace"
 	"pinnedloads/internal/tracefile"
@@ -138,8 +142,8 @@ func LoadTrace(path string) (Workload, error) {
 // DefaultWarmup and DefaultMeasure are the instruction counts used when a
 // RunSpec leaves them zero.
 const (
-	DefaultWarmup  = 20_000
-	DefaultMeasure = 100_000
+	DefaultWarmup  = simrun.DefaultWarmup
+	DefaultMeasure = simrun.DefaultMeasure
 )
 
 // RunSpec describes one simulation run.
@@ -199,16 +203,18 @@ type Result struct {
 
 // Run executes one simulation.
 func Run(spec RunSpec) (Result, error) {
-	w := spec.Workload
-	if w == nil {
-		if spec.Benchmark == "" {
-			return Result{}, fmt.Errorf("pinnedloads: RunSpec needs a Benchmark or Workload")
-		}
-		p := trace.ByName(spec.Benchmark)
-		if p == nil {
-			return Result{}, fmt.Errorf("pinnedloads: unknown benchmark %q", spec.Benchmark)
-		}
-		w = p
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled or its
+// deadline passes, the simulation stops mid-run (within a few thousand
+// simulated cycles) and the error wraps ctx.Err(). The simulation service
+// uses this to enforce per-job timeouts; interactive callers can bound
+// runaway configurations the same way.
+func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
+	w, err := resolveWorkload(spec)
+	if err != nil {
+		return Result{}, err
 	}
 	var cfg Config
 	if spec.Config != nil {
@@ -243,7 +249,7 @@ func Run(spec RunSpec) (Result, error) {
 		sys.SetRecorder(ring)
 	}
 	sys.SampleEvery(spec.MetricsInterval)
-	res, err := sys.Run(warmup, measure)
+	res, err := sys.RunContext(ctx, warmup, measure)
 	if err != nil {
 		return Result{}, err
 	}
@@ -254,6 +260,86 @@ func Run(spec RunSpec) (Result, error) {
 		out.EventsLost = ring.Dropped()
 	}
 	return out, nil
+}
+
+// resolveWorkload returns the workload a spec runs.
+func resolveWorkload(spec RunSpec) (Workload, error) {
+	if spec.Workload != nil {
+		return spec.Workload, nil
+	}
+	if spec.Benchmark == "" {
+		return nil, fmt.Errorf("pinnedloads: RunSpec needs a Benchmark or Workload")
+	}
+	p := trace.ByName(spec.Benchmark)
+	if p == nil {
+		return nil, fmt.Errorf("pinnedloads: unknown benchmark %q", spec.Benchmark)
+	}
+	return p, nil
+}
+
+// SpecKey returns the content-addressed identity of a run: a stable hex
+// digest over a canonical, versioned encoding of everything that
+// determines the run's outcome (benchmark, policy, effective machine
+// configuration, seed and instruction counts, trace-buffer size). Two
+// specs share a key exactly when they describe the same simulation, so
+// the key doubles as a cache/memoization identifier — the simulation
+// service uses it as the job ID. Specs with a custom Workload are only
+// addressable when the workload is a registered benchmark proxy
+// (otherwise the content of the workload is not capturable in the key and
+// an error is returned). RunSpec.MetricsInterval is excluded: it changes
+// which snapshots are captured, never the simulation's outcome.
+func SpecKey(spec RunSpec) (string, error) {
+	name := spec.Benchmark
+	if spec.Workload != nil {
+		name = spec.Workload.Name()
+		p := trace.ByName(name)
+		if p == nil || !reflect.DeepEqual(Workload(p), spec.Workload) {
+			return "", fmt.Errorf("pinnedloads: workload %q is not a registered benchmark; custom workloads have no content-addressed key", name)
+		}
+	} else if trace.ByName(name) == nil {
+		return "", fmt.Errorf("pinnedloads: unknown benchmark %q", name)
+	}
+	w := trace.ByName(name)
+	cfg := spec.Config
+	if cfg == nil {
+		cores := w.Cores()
+		if cores < 1 {
+			cores = 1
+		}
+		c := arch.PaperConfig(cores)
+		cfg = &c
+	} else if cfg.Cores < w.Cores() {
+		// core.New raises the core count to the workload's; key the
+		// effective configuration, not the declared one.
+		c := *cfg
+		c.Cores = w.Cores()
+		cfg = &c
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	warmup := spec.Warmup
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	measure := spec.Measure
+	if measure == 0 {
+		measure = DefaultMeasure
+	}
+	pol := defense.Policy{Scheme: spec.Scheme, Variant: spec.Variant, Conds: spec.Conds}
+	k := speckey.Spec{
+		Benchmark:   name,
+		Scheme:      spec.Scheme.String(),
+		Variant:     spec.Variant.String(),
+		Conds:       uint8(pol.VPConds()),
+		Seed:        seed,
+		Warmup:      warmup,
+		Measure:     measure,
+		TraceBuffer: spec.TraceBuffer,
+		Config:      cfg,
+	}
+	return k.Key(), nil
 }
 
 // Overhead converts a protected CPI and an unsafe-baseline CPI into the

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Integration check for the simulation service: build plserved and plctl,
+# boot the daemon on a random port, submit two identical jobs and one
+# distinct job, assert the duplicate was served from the cache (via
+# /metrics), check the 429 backpressure path is wired, and verify SIGTERM
+# drains to a clean exit. Run from the repository root; CI runs it after
+# the unit tiers.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; [ -n "${srv_pid:-}" ] && kill -9 "$srv_pid" 2>/dev/null || true' EXIT
+
+echo "--- building plserved and plctl"
+go build -o "$workdir/plserved" ./cmd/plserved
+go build -o "$workdir/plctl" ./cmd/plctl
+
+echo "--- starting plserved on a random port"
+"$workdir/plserved" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr" \
+    -workers 2 \
+    -cache-dir "$workdir/cache" \
+    2>"$workdir/plserved.log" &
+srv_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$srv_pid" || { cat "$workdir/plserved.log"; echo "plserved died"; exit 1; }
+    sleep 0.1
+done
+[ -s "$workdir/addr" ] || { echo "plserved never wrote its address"; exit 1; }
+server="http://$(cat "$workdir/addr")"
+plctl() { "$workdir/plctl" -server "$server" "$@"; }
+echo "    $server"
+
+echo "--- submitting two identical jobs and one distinct job"
+plctl submit -bench gcc_r -scheme fence -variant ep -warmup 500 -measure 2000 -wait -csv >"$workdir/a.csv"
+plctl submit -bench gcc_r -scheme fence -variant ep -warmup 500 -measure 2000 -wait -csv >"$workdir/b.csv"
+plctl submit -bench gcc_r -scheme unsafe -warmup 500 -measure 2000 -wait >/dev/null
+
+cmp "$workdir/a.csv" "$workdir/b.csv" || { echo "identical jobs returned different CSV"; exit 1; }
+grep -q '^cpi,' "$workdir/a.csv" || { echo "result CSV lacks a cpi row"; exit 1; }
+
+echo "--- asserting the duplicate was a cache hit, not a re-simulation"
+plctl metrics >"$workdir/metrics"
+executed=$(awk -F= '$1 == "svc.executed" { print $2 }' "$workdir/metrics")
+hits=$(awk -F= '$1 == "svc.cache_hits" || $1 == "svc.dedup_hits" { n += $2 } END { print n+0 }' "$workdir/metrics")
+[ "$executed" = 2 ] || { echo "svc.executed=$executed, want 2 (one per distinct job)"; cat "$workdir/metrics"; exit 1; }
+[ "$hits" -ge 1 ] || { echo "no cache/dedup hit recorded"; cat "$workdir/metrics"; exit 1; }
+
+echo "--- SIGTERM drains to a clean exit"
+kill -TERM "$srv_pid"
+wait "$srv_pid" || { echo "plserved exited non-zero on SIGTERM"; exit 1; }
+srv_pid=
+
+echo "--- a restarted daemon serves the result from the disk cache"
+"$workdir/plserved" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr2" \
+    -workers 2 \
+    -cache-dir "$workdir/cache" \
+    2>>"$workdir/plserved.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr2" ] && break
+    sleep 0.1
+done
+server="http://$(cat "$workdir/addr2")"
+plctl submit -bench gcc_r -scheme fence -variant ep -warmup 500 -measure 2000 -wait -csv >"$workdir/c.csv"
+cmp "$workdir/a.csv" "$workdir/c.csv" || { echo "restart lost the cached result"; exit 1; }
+executed=$(plctl metrics | awk -F= '$1 == "svc.executed" { print $2 }')
+[ "${executed:-0}" = 0 ] || { echo "restarted daemon re-simulated (svc.executed=$executed)"; exit 1; }
+kill -TERM "$srv_pid"
+wait "$srv_pid" || true
+srv_pid=
+
+echo "service integration: OK"

@@ -1,0 +1,69 @@
+package pinnedloads
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSpecKeyCanonicalization checks that defaulted and explicit spec
+// fields key identically (seed, warmup/measure, config, the VP condition
+// mask) and that distinct runs key differently.
+func TestSpecKeyCanonicalization(t *testing.T) {
+	base := RunSpec{Benchmark: "gcc_r", Scheme: Fence, Variant: EP}
+	k1, err := SpecKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Seed = 1
+	explicit.Warmup = DefaultWarmup
+	explicit.Measure = DefaultMeasure
+	cfg := PaperConfig(1)
+	explicit.Config = &cfg
+	explicit.Conds = CondCtrl | CondAlias | CondException | CondMCV
+	if k2, _ := SpecKey(explicit); k2 != k1 {
+		t.Fatal("explicit defaults keyed differently from the zero-value defaults")
+	}
+	// The registered profile instance keys like its name.
+	byWorkload := base
+	byWorkload.Benchmark = ""
+	byWorkload.Workload = Benchmark("gcc_r")
+	if k3, err := SpecKey(byWorkload); err != nil || k3 != k1 {
+		t.Fatalf("workload-instance key = %q, %v; want %q", k3, err, k1)
+	}
+	other := base
+	other.Scheme = DOM
+	if k4, _ := SpecKey(other); k4 == k1 {
+		t.Fatal("different scheme collided")
+	}
+	small := base
+	small.Measure = 4096
+	if k5, _ := SpecKey(small); k5 == k1 {
+		t.Fatal("different measure collided")
+	}
+}
+
+func TestSpecKeyRejectsCustomWorkload(t *testing.T) {
+	spec := RunSpec{Workload: &Script{ScriptName: "custom", NumCores: 1,
+		Insts: [][]Inst{{{Op: OpNop}}}, Loop: true}}
+	if _, err := SpecKey(spec); err == nil ||
+		!strings.Contains(err.Error(), "content-addressed") {
+		t.Fatalf("err = %v, want content-address refusal", err)
+	}
+	if _, err := SpecKey(RunSpec{Benchmark: "nope"}); err == nil {
+		t.Fatal("unknown benchmark keyed")
+	}
+}
+
+// TestRunContextCancel checks cancellation surfaces through the public
+// API and stops the simulation early.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, RunSpec{Benchmark: "gcc_r", Scheme: Unsafe, Measure: 1 << 40})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
