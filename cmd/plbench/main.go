@@ -11,10 +11,14 @@
 //	plbench -workers 8 -all       # bound simulation parallelism
 //	plbench -measure 100000 -warmup 20000 -seed 2 ...
 //	plbench -server http://host:8321 -fig 7   # offload runs to plserved
+//	plbench -server http://h1:8321,http://h2:8321 -fig 7   # ...to a fleet
+//	plbench -fleet fleet.json -fig 7          # fleet from a config file
 //
 // Simulations within each experiment run on a worker pool (-workers,
 // default: every available CPU); results are bit-identical to a
-// sequential -workers 1 run. Results print as text tables; EXPERIMENTS.md
+// sequential -workers 1 run. With several backends (a comma-separated
+// -server list or a -fleet config) jobs shard by content key with
+// automatic failover. Results print as text tables; EXPERIMENTS.md
 // records a reference run. A failed simulation aborts with a non-zero
 // exit after the remaining experiments have been attempted.
 package main
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"pinnedloads/internal/experiments"
+	"pinnedloads/internal/fleet"
 	"pinnedloads/internal/service/client"
 )
 
@@ -45,7 +50,8 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all CPUs)")
 		verbose = flag.Bool("v", false, "print each simulation as it completes")
 		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
-		server  = flag.String("server", "", "offload benchmark simulations to a plserved instance at this URL")
+		server  = flag.String("server", "", "offload benchmark simulations to plserved; comma-separate several URLs for a fleet")
+		fleetCf = flag.String("fleet", "", "offload to a fleet described by this JSON config file (overrides -server)")
 		chart   = flag.Bool("chart", false, "render figures as terminal bar charts too")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -95,9 +101,12 @@ func main() {
 	}
 	runner := experiments.NewRunner(params)
 	runner.Workers = *workers
-	if *server != "" {
-		runner.Remote = client.New(*server)
+	remote, err := buildRemote(*server, *fleetCf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbench: %v\n", err)
+		os.Exit(1)
 	}
+	runner.Remote = remote
 	if *verbose {
 		runner.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -258,4 +267,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// buildRemote resolves the -server/-fleet flags into a RemoteRunner: nil
+// (local execution), a single-backend client, or a fleet.
+func buildRemote(server, fleetCf string) (experiments.RemoteRunner, error) {
+	if fleetCf != "" {
+		opt, err := fleet.LoadOptions(fleetCf)
+		if err != nil {
+			return nil, err
+		}
+		return fleet.New(opt)
+	}
+	if server == "" {
+		return nil, nil
+	}
+	addrs := fleet.ParseBackends(server)
+	if len(addrs) == 1 {
+		return client.New(addrs[0]), nil
+	}
+	return fleet.New(fleet.Options{Backends: addrs})
 }

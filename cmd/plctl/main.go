@@ -12,6 +12,8 @@
 //	wait     block until a job finishes, then print it
 //	trace    download a done job's Chrome trace JSON
 //	metrics  print the server's counters
+//	fleet    fleet-wide operations over a comma-separated -server list:
+//	         fleet status | fleet metrics | fleet drain
 //
 // Examples:
 //
@@ -19,6 +21,7 @@
 //	plctl submit -bench gcc_r -trace-buf 4096 -wait
 //	plctl trace -o trace.json <job-id>
 //	plctl get <job-id>
+//	plctl -server http://h1:8321,http://h2:8321 fleet status
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"pinnedloads/internal/fleet"
 	"pinnedloads/internal/service"
 	"pinnedloads/internal/service/client"
 )
@@ -53,9 +57,16 @@ func run(args []string) error {
 		global.Usage()
 		return fmt.Errorf("missing command")
 	}
-	c := client.New(*server)
 	ctx := context.Background()
 	cmd, rest := rest[0], rest[1:]
+	if cmd == "fleet" {
+		return cmdFleet(ctx, *server, rest)
+	}
+	addrs := fleet.ParseBackends(*server)
+	if len(addrs) != 1 {
+		return fmt.Errorf("%s wants exactly one -server URL (use the fleet command for several)", cmd)
+	}
+	c := client.New(addrs[0])
 	switch cmd {
 	case "submit":
 		return cmdSubmit(ctx, c, rest)
@@ -75,8 +86,52 @@ func run(args []string) error {
 
 func usage(fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(os.Stderr, "usage: plctl [-server URL] <submit|get|wait|trace|metrics> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: plctl [-server URL[,URL...]] <submit|get|wait|trace|metrics|fleet> [flags]")
 		fs.PrintDefaults()
+	}
+}
+
+// cmdFleet handles the fleet subcommands: status, metrics, drain. The
+// -server flag may list several backends; a single URL is a one-backend
+// fleet, which keeps the commands useful against a lone daemon too.
+func cmdFleet(ctx context.Context, server string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fleet: want a subcommand (status, metrics, drain)")
+	}
+	f, err := fleet.New(fleet.Options{Backends: fleet.ParseBackends(server)})
+	if err != nil {
+		return err
+	}
+	switch args[0] {
+	case "status":
+		sts := f.Status(ctx)
+		bad := 0
+		for _, st := range sts {
+			if !st.Reach {
+				bad++
+			}
+		}
+		if err := printJSON(sts); err != nil {
+			return err
+		}
+		if bad > 0 {
+			return fmt.Errorf("fleet: %d of %d backends unreachable", bad, len(sts))
+		}
+		return nil
+	case "metrics":
+		m, err := f.Metrics(ctx)
+		if perr := printJSON(m); perr != nil {
+			return perr
+		}
+		return err
+	case "drain":
+		if err := f.Drain(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("draining %d backends\n", len(f.Addrs()))
+		return nil
+	default:
+		return fmt.Errorf("fleet: unknown subcommand %q (want status, metrics, drain)", args[0])
 	}
 }
 

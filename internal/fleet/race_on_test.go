@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// multi-backend sweep shrinks its simulation sizing under -race.
+const raceEnabled = true

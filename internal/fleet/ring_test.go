@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("speckey-%d", i)
+	}
+	return out
+}
+
+// TestRingCoversAllBackends checks every key's candidate list is a
+// permutation of all backends, so failover can always reach everyone.
+func TestRingCoversAllBackends(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(addrs, 64)
+	for _, k := range keys(500) {
+		c := r.candidates(k)
+		if len(c) != len(addrs) {
+			t.Fatalf("key %s: %d candidates, want %d", k, len(c), len(addrs))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range c {
+			if idx < 0 || idx >= len(addrs) || seen[idx] {
+				t.Fatalf("key %s: bad candidate list %v", k, c)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread primary ownership roughly
+// evenly: no backend owns more than twice its fair share of 3000 keys.
+func TestRingBalance(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(addrs, 64)
+	counts := make([]int, len(addrs))
+	n := 3000
+	for _, k := range keys(n) {
+		counts[r.candidates(k)[0]]++
+	}
+	fair := n / len(addrs)
+	for i, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Fatalf("backend %d owns %d of %d keys (fair share %d): %v",
+				i, c, n, fair, counts)
+		}
+	}
+}
+
+// TestRingStabilityOnMembershipChange checks the consistent-hashing
+// contract: removing one backend only reroutes the keys it owned; every
+// other key keeps its primary. That is what keeps sibling result caches
+// warm across fleet reconfigurations.
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	without := full[:3] // drop d
+	rFull := newRing(full, 64)
+	rLess := newRing(without, 64)
+	moved := 0
+	for _, k := range keys(2000) {
+		ownerFull := full[rFull.candidates(k)[0]]
+		ownerLess := without[rLess.candidates(k)[0]]
+		if ownerFull == "http://d:1" {
+			continue // d's keys must move, anywhere is fine
+		}
+		if ownerFull != ownerLess {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed backend changed owner", moved)
+	}
+}
+
+// TestRingDeterministicAcrossConstructions checks the ring is a pure
+// function of the address set — two fleets built from the same config
+// route identically, which failover and CI depend on.
+func TestRingDeterministicAcrossConstructions(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(addrs, 64)
+	r2 := newRing(addrs, 64)
+	for _, k := range keys(200) {
+		c1, c2 := r1.candidates(k), r2.candidates(k)
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("key %s: candidate order differs: %v vs %v", k, c1, c2)
+			}
+		}
+	}
+}

@@ -19,7 +19,12 @@ import (
 
 	"pinnedloads/internal/service"
 	"pinnedloads/internal/simrun"
+	"pinnedloads/internal/vclock"
 )
+
+// Clock is the injectable time source retry/backoff and polling run on;
+// tests drive a vclock.Fake instead of sleeping real time.
+type Clock = vclock.Clock
 
 // Client talks to one plserved instance. The zero retry/backoff fields
 // get sensible defaults from New.
@@ -37,6 +42,9 @@ type Client struct {
 	// to PollMax (defaults 25ms and 2s).
 	PollInterval time.Duration
 	PollMax      time.Duration
+	// Clock supplies Now/After for every backoff and poll wait (default:
+	// the wall clock).
+	Clock Clock
 }
 
 // New returns a client for the server at base.
@@ -58,7 +66,40 @@ type StatusError struct {
 }
 
 func (e *StatusError) Error() string {
-	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+// JobError reports a job that reached the failed state — the simulation
+// itself errored, as opposed to the backend being unreachable. Callers
+// federating over several backends use errors.As to tell the two apart:
+// a JobError is deterministic and will fail identically anywhere, so it
+// must not trigger failover.
+type JobError struct {
+	// Backend is the base URL of the server that reported the failure.
+	Backend string
+	// ID is the failed job's content-addressed ID.
+	ID string
+	// Message is the server's failure description.
+	Message string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %s failed on %s: %s", e.ID, e.Backend, e.Message)
+}
+
+// wrap prefixes an error with the client package and the backend's
+// address, keeping the cause reachable for errors.Is/As. Multi-backend
+// callers depend on the address to attribute failures.
+func (c *Client) wrap(err error) error {
+	return fmt.Errorf("client: backend %s: %w", c.Base, err)
+}
+
+// clock returns the injected clock or the wall clock.
+func (c *Client) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return vclock.Real{}
 }
 
 // retryable reports whether a response code is worth retrying: explicit
@@ -79,7 +120,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
 		if err != nil {
-			return fmt.Errorf("client: %w", err)
+			return c.wrap(err)
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -92,13 +133,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		var wait time.Duration
 		switch {
 		case err != nil:
-			lastErr = fmt.Errorf("client: %w", err)
+			lastErr = c.wrap(err)
 			wait = backoff
 		default:
 			data, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if rerr != nil {
-				lastErr = fmt.Errorf("client: %w", rerr)
+				lastErr = c.wrap(rerr)
 				wait = backoff
 				break
 			}
@@ -107,7 +148,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 					return nil
 				}
 				if err := json.Unmarshal(data, out); err != nil {
-					return fmt.Errorf("client: bad response body: %w", err)
+					return c.wrap(fmt.Errorf("bad response body: %w", err))
 				}
 				return nil
 			}
@@ -120,9 +161,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			serr := &StatusError{Code: resp.StatusCode, Message: ae.Error}
 			if !retryable(resp.StatusCode) {
-				return serr
+				return c.wrap(serr)
 			}
-			lastErr = serr
+			lastErr = c.wrap(serr)
 			wait = backoff
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
 				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
@@ -135,9 +176,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		backoff *= 2
 		select {
-		case <-time.After(wait):
+		case <-c.clock().After(wait):
 		case <-ctx.Done():
-			return fmt.Errorf("client: %w", ctx.Err())
+			return c.wrap(ctx.Err())
 		}
 	}
 }
@@ -186,9 +227,9 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 			return st, nil
 		}
 		select {
-		case <-time.After(interval):
+		case <-c.clock().After(interval):
 		case <-ctx.Done():
-			return service.JobStatus{}, fmt.Errorf("client: %w", ctx.Err())
+			return service.JobStatus{}, c.wrap(ctx.Err())
 		}
 		if interval = interval * 3 / 2; interval > max {
 			interval = max
@@ -209,7 +250,7 @@ func (c *Client) Run(ctx context.Context, spec service.JobSpec) (*simrun.Output,
 		}
 	}
 	if st.State != service.StateDone {
-		return nil, fmt.Errorf("client: job %s failed: %s", st.ID, st.Error)
+		return nil, c.wrap(&JobError{Backend: c.Base, ID: st.ID, Message: st.Error})
 	}
 	return st.Result, nil
 }
@@ -223,11 +264,23 @@ func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
 	return raw, nil
 }
 
-// Metrics fetches the server's counters as a name -> value map.
-func (c *Client) Metrics(ctx context.Context) (map[string]uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+// Health is the typed /healthz body.
+type Health struct {
+	Status        string `json:"status"`
+	Draining      bool   `json:"draining"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+}
+
+// Healthz probes the liveness endpoint with a single request — no
+// retries, because the caller is typically a health prober that wants the
+// raw verdict immediately. A draining server decodes into h but still
+// returns an error (it is not accepting work).
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return Health{}, c.wrap(err)
 	}
 	httpc := c.HTTP
 	if httpc == nil {
@@ -235,15 +288,49 @@ func (c *Client) Metrics(ctx context.Context) (map[string]uint64, error) {
 	}
 	resp, err := httpc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return Health{}, c.wrap(err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return Health{}, c.wrap(err)
+	}
+	var h Health
+	json.Unmarshal(data, &h)
+	if resp.StatusCode != http.StatusOK {
+		return h, c.wrap(&StatusError{Code: resp.StatusCode,
+			Message: strings.TrimSpace(string(data))})
+	}
+	return h, nil
+}
+
+// Drain asks the server to stop accepting jobs and finish what it has
+// (POST /v1/drain). Draining an already-draining server is a no-op.
+func (c *Client) Drain(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/drain", nil, nil)
+}
+
+// Metrics fetches the server's counters as a name -> value map.
+func (c *Client) Metrics(ctx context.Context) (map[string]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, c.wrap(err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, c.wrap(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, c.wrap(err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return nil, c.wrap(&StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))})
 	}
 	m := make(map[string]uint64)
 	for _, line := range strings.Split(string(data), "\n") {
@@ -253,7 +340,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]uint64, error) {
 		}
 		v, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("client: bad metrics line %q", line)
+			return nil, c.wrap(fmt.Errorf("bad metrics line %q", line))
 		}
 		m[name] = v
 	}

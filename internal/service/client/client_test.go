@@ -12,13 +12,35 @@ import (
 	"time"
 
 	"pinnedloads/internal/service"
+	"pinnedloads/internal/vclock"
 )
 
+// fastClient tunes the real-service tests' polling low; retry/backoff
+// tests use fakeClient instead so they never sleep wall-clock time.
 func fastClient(base string) *Client {
 	c := New(base)
 	c.Backoff = time.Millisecond
 	c.PollInterval = time.Millisecond
 	return c
+}
+
+// fakeClient pairs a client with a manually advanced clock; every
+// backoff and poll wait blocks until the test advances it.
+func fakeClient(base string) (*Client, *vclock.Fake) {
+	clk := vclock.NewFake(time.Time{})
+	c := New(base)
+	c.Clock = clk
+	return c, clk
+}
+
+// advanceNext waits for the client to arm its next timer and fires it,
+// returning the duration the client asked to wait.
+func advanceNext(t *testing.T, clk *vclock.Fake) time.Duration {
+	t.Helper()
+	clk.BlockUntil(1)
+	d := clk.Deadlines()[0]
+	clk.Advance(d)
+	return d
 }
 
 // TestRunAgainstRealService drives the full SDK round trip against an
@@ -56,13 +78,15 @@ func TestRunAgainstRealService(t *testing.T) {
 	}
 }
 
-// TestRetryOn429HonorsRetryAfter serves two 429s with a zero-second
-// Retry-After and then succeeds; the client must come back.
+// TestRetryOn429HonorsRetryAfter serves two 429s with a 3-second
+// Retry-After and then succeeds. The fake clock proves the client waits
+// exactly the hinted duration — not less, not its own backoff — without
+// the test sleeping any real time.
 func TestRetryOn429HonorsRetryAfter(t *testing.T) {
 	var hits atomic.Int64
 	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if hits.Add(1) <= 2 {
-			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Retry-After", "3")
 			w.WriteHeader(http.StatusTooManyRequests)
 			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
 			return
@@ -70,13 +94,78 @@ func TestRetryOn429HonorsRetryAfter(t *testing.T) {
 		json.NewEncoder(w).Encode(service.JobStatus{ID: "abc", State: service.StateQueued})
 	}))
 	defer fake.Close()
-	c := fastClient(fake.URL)
-	st, err := c.Submit(context.Background(), service.JobSpec{Benchmark: "gcc_r"})
-	if err != nil {
-		t.Fatal(err)
+	c, clk := fakeClient(fake.URL)
+
+	type result struct {
+		st  service.JobStatus
+		err error
 	}
-	if st.ID != "abc" || hits.Load() != 3 {
-		t.Fatalf("st=%+v hits=%d, want success on 3rd attempt", st, hits.Load())
+	done := make(chan result, 1)
+	go func() {
+		st, err := c.Submit(context.Background(), service.JobSpec{Benchmark: "gcc_r"})
+		done <- result{st, err}
+	}()
+
+	// First 429: the client must arm a 3s wait (Retry-After overrides the
+	// default 250ms backoff) and stay parked until it fully elapses.
+	clk.BlockUntil(1)
+	if d := clk.Deadlines()[0]; d != 3*time.Second {
+		t.Fatalf("first retry wait = %v, want 3s from Retry-After", d)
+	}
+	clk.Advance(2 * time.Second)
+	if hits.Load() != 1 {
+		t.Fatalf("client retried after only 2s of a 3s Retry-After (hits=%d)", hits.Load())
+	}
+	clk.Advance(time.Second)
+
+	// Second 429, same hint.
+	clk.BlockUntil(1)
+	if d := clk.Deadlines()[0]; d != 3*time.Second {
+		t.Fatalf("second retry wait = %v, want 3s", d)
+	}
+	clk.Advance(3 * time.Second)
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.st.ID != "abc" || hits.Load() != 3 {
+		t.Fatalf("st=%+v hits=%d, want success on 3rd attempt", res.st, hits.Load())
+	}
+}
+
+// TestRetryBackoffDoubles checks the 5xx backoff schedule doubles per
+// attempt, asserting each armed wait on the fake clock.
+func TestRetryBackoffDoubles(t *testing.T) {
+	var hits atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer fake.Close()
+	c, clk := fakeClient(fake.URL)
+	c.Backoff = 100 * time.Millisecond
+	c.Retries = 3
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), "abc")
+		done <- err
+	}()
+	for i, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if got := advanceNext(t, clk); got != want {
+			t.Fatalf("wait %d = %v, want %v", i, got, want)
+		}
+	}
+	err := <-done
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError 500", err)
+	}
+	if hits.Load() != 4 {
+		t.Fatalf("hits = %d, want 1 try + 3 retries", hits.Load())
 	}
 }
 
@@ -89,9 +178,17 @@ func TestRetryOn5xxAndGiveUp(t *testing.T) {
 		http.Error(w, "boom", http.StatusInternalServerError)
 	}))
 	defer fake.Close()
-	c := fastClient(fake.URL)
+	c, clk := fakeClient(fake.URL)
 	c.Retries = 2
-	_, err := c.Get(context.Background(), "abc")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), "abc")
+		done <- err
+	}()
+	advanceNext(t, clk)
+	advanceNext(t, clk)
+	err := <-done
 	var serr *StatusError
 	if !errors.As(err, &serr) || serr.Code != http.StatusInternalServerError {
 		t.Fatalf("err = %v, want StatusError 500", err)
@@ -110,7 +207,7 @@ func TestNoRetryOn4xx(t *testing.T) {
 		json.NewEncoder(w).Encode(map[string]string{"error": "unknown job"})
 	}))
 	defer fake.Close()
-	c := fastClient(fake.URL)
+	c, _ := fakeClient(fake.URL)
 	_, err := c.Get(context.Background(), "missing")
 	var serr *StatusError
 	if !errors.As(err, &serr) || serr.Code != http.StatusNotFound {
@@ -121,7 +218,80 @@ func TestNoRetryOn4xx(t *testing.T) {
 	}
 }
 
-// TestRunReportsJobFailure turns a failed job into a client error.
+// TestWaitPollIntervalGrows proves Wait's poll delay grows 1.5x per poll
+// and clamps at PollMax, using the fake clock's armed deadlines.
+func TestWaitPollIntervalGrows(t *testing.T) {
+	var gets atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := service.JobStatus{ID: "abc", State: service.StateRunning}
+		if gets.Add(1) >= 5 {
+			st.State = service.StateDone
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer fake.Close()
+	c, clk := fakeClient(fake.URL)
+	c.PollInterval = 10 * time.Millisecond
+	c.PollMax = 30 * time.Millisecond
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Wait(context.Background(), "abc")
+		done <- err
+	}()
+	want := []time.Duration{
+		10 * time.Millisecond,    // initial interval
+		15 * time.Millisecond,    // *1.5
+		22500 * time.Microsecond, // *1.5
+		30 * time.Millisecond,    // clamped at PollMax (33.75 -> 30)
+	}
+	for i, w := range want {
+		if got := advanceNext(t, clk); got != w {
+			t.Fatalf("poll wait %d = %v, want %v", i, got, w)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if gets.Load() != 5 {
+		t.Fatalf("gets = %d, want 5", gets.Load())
+	}
+}
+
+// TestErrorsCarryBackendAddress asserts every error path names the
+// backend that produced it, so multi-backend failures are attributable,
+// while the typed cause stays reachable through errors.As.
+func TestErrorsCarryBackendAddress(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown job"})
+	}))
+	defer fake.Close()
+	c, _ := fakeClient(fake.URL)
+	_, err := c.Get(context.Background(), "missing")
+	if err == nil || !strings.Contains(err.Error(), fake.URL) {
+		t.Fatalf("error %q does not name the backend %s", err, fake.URL)
+	}
+	var serr *StatusError
+	if !errors.As(err, &serr) {
+		t.Fatalf("wrapped error %v lost its StatusError cause", err)
+	}
+
+	// Transport-level failure (nothing listening) must also name the
+	// address the client dialed.
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	deadURL := dead.URL
+	dead.Close()
+	c2, _ := fakeClient(deadURL)
+	c2.Retries = 0
+	if _, err := c2.Get(context.Background(), "x"); err == nil ||
+		!strings.Contains(err.Error(), deadURL) {
+		t.Fatalf("transport error %q does not name the backend %s", err, deadURL)
+	}
+}
+
+// TestRunReportsJobFailure turns a failed job into a typed JobError that
+// names the backend and is distinguishable from transport failures.
 func TestRunReportsJobFailure(t *testing.T) {
 	s := service.New(service.Options{Workers: 1, JobTimeout: 30 * time.Millisecond})
 	s.Start()
@@ -133,7 +303,11 @@ func TestRunReportsJobFailure(t *testing.T) {
 	c := fastClient(ts.URL)
 	_, err := c.Run(context.Background(), service.JobSpec{
 		Benchmark: "gcc_r", Measure: 1 << 40})
-	if err == nil || !strings.Contains(err.Error(), "failed") {
-		t.Fatalf("err = %v, want job failure", err)
+	var jerr *JobError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("err = %v, want JobError", err)
+	}
+	if jerr.Backend != ts.URL || !strings.Contains(err.Error(), ts.URL) {
+		t.Fatalf("JobError %+v does not attribute the backend %s", jerr, ts.URL)
 	}
 }

@@ -22,6 +22,7 @@ type apiError struct {
 //	                         503 draining
 //	GET  /v1/jobs/{id}       job status (404 unknown)
 //	GET  /v1/jobs/{id}/trace Chrome trace of a done job's event stream
+//	POST /v1/drain           stop accepting jobs, finish what is queued
 //	GET  /healthz            liveness (503 once draining)
 //	GET  /metrics            service counters as name=value lines
 func (s *Server) Handler() http.Handler {
@@ -29,9 +30,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleDrain takes the server out of rotation: it stops accepting new
+// jobs but keeps serving status reads while queued work finishes.
+// Idempotent; /healthz flips to 503 "draining" so probers notice.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.BeginDrain()
+	queued, _ := s.QueueDepth()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "draining",
+		"queue_depth": queued,
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -295,16 +295,24 @@ func (s *Server) finish(j *job, out *simrun.Output, cacheHit bool, err error) {
 	close(j.done)
 }
 
-// Drain stops accepting jobs, lets the workers finish everything already
-// queued or running, and returns when the pool is idle (or ctx expires,
-// in which case in-flight jobs keep running until Close).
-func (s *Server) Drain(ctx context.Context) error {
+// BeginDrain stops accepting jobs without waiting for the workers to
+// finish — the non-blocking half of Drain, used by the HTTP drain
+// endpoint so a fleet controller can take a backend out of rotation and
+// poll /healthz for completion. Idempotent.
+func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
 		close(s.queue) // all sends hold s.mu and check draining first
 	}
 	s.mu.Unlock()
+}
+
+// Drain stops accepting jobs, lets the workers finish everything already
+// queued or running, and returns when the pool is idle (or ctx expires,
+// in which case in-flight jobs keep running until Close).
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
 
 	idle := make(chan struct{})
 	go func() {

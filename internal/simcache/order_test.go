@@ -1,0 +1,147 @@
+package simcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// op is one step of an LRU scenario: a Put of key, or a Get (which must
+// hit and which promotes).
+type op struct {
+	get bool
+	key string
+}
+
+func put(k string) op { return op{key: k} }
+func get(k string) op { return op{get: true, key: k} }
+
+// TestLRUEvictionOrderTable drives the Memory cache through access
+// patterns and checks exactly which keys survive: eviction must follow
+// recency of use (Gets and re-Puts both promote), not insertion order.
+func TestLRUEvictionOrderTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		max     int
+		ops     []op
+		want    []string // keys that must be present, in any order
+		evicted []string // keys that must be gone
+	}{
+		{
+			name: "plain insertion order",
+			max:  2,
+			ops:  []op{put("a"), put("b"), put("c")},
+			want: []string{"b", "c"}, evicted: []string{"a"},
+		},
+		{
+			name: "get promotes over later insert",
+			max:  2,
+			ops:  []op{put("a"), put("b"), get("a"), put("c")},
+			want: []string{"a", "c"}, evicted: []string{"b"},
+		},
+		{
+			name: "re-put promotes",
+			max:  2,
+			ops:  []op{put("a"), put("b"), put("a"), put("c")},
+			want: []string{"a", "c"}, evicted: []string{"b"},
+		},
+		{
+			name: "chain of promotions",
+			max:  3,
+			ops: []op{put("a"), put("b"), put("c"), get("a"), get("b"),
+				put("d"), put("e")},
+			want: []string{"b", "d", "e"}, evicted: []string{"a", "c"},
+		},
+		{
+			name: "bound of one keeps only the newest",
+			max:  1,
+			ops:  []op{put("a"), put("b"), put("c")},
+			want: []string{"c"}, evicted: []string{"a", "b"},
+		},
+		{
+			name:    "unbounded never evicts",
+			max:     0,
+			ops:     []op{put("a"), put("b"), put("c"), put("d")},
+			want:    []string{"a", "b", "c", "d"},
+			evicted: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMemory(tc.max)
+			for i, o := range tc.ops {
+				if o.get {
+					if _, ok, _ := m.Get(o.key); !ok {
+						t.Fatalf("op %d: Get(%s) missed mid-scenario", i, o.key)
+					}
+					continue
+				}
+				if err := m.Put(o.key, out(float64(i))); err != nil {
+					t.Fatalf("op %d: Put(%s): %v", i, o.key, err)
+				}
+			}
+			for _, k := range tc.want {
+				if _, ok, _ := m.Get(k); !ok {
+					t.Errorf("key %s evicted, want kept", k)
+				}
+			}
+			for _, k := range tc.evicted {
+				if _, ok, _ := m.Get(k); ok {
+					t.Errorf("key %s kept, want evicted", k)
+				}
+			}
+			if want := len(tc.want); m.Len() != want {
+				t.Errorf("len = %d, want %d", m.Len(), want)
+			}
+		})
+	}
+}
+
+// TestParallelGetPut hammers a bounded Memory and a Tiered(Memory, Disk)
+// cache from many goroutines; run under -race this is the concurrency
+// safety check for the cache stack the service and the fleet both sit on.
+func TestParallelGetPut(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches := []struct {
+		name string
+		c    Cache
+	}{
+		{"memory", NewMemory(8)},
+		{"tiered", NewTiered(NewMemory(4), disk)},
+	}
+	for _, tc := range caches {
+		t.Run(tc.name, func(t *testing.T) {
+			const goroutines, iters, keys = 8, 50, 16
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						k := fmt.Sprintf("k%02d", (g*7+i)%keys)
+						if (g+i)%2 == 0 {
+							if err := tc.c.Put(k, out(float64(i))); err != nil {
+								t.Errorf("Put(%s): %v", k, err)
+								return
+							}
+							continue
+						}
+						o, ok, err := tc.c.Get(k)
+						if err != nil {
+							t.Errorf("Get(%s): %v", k, err)
+							return
+						}
+						if ok && o == nil {
+							t.Errorf("Get(%s): hit with nil output", k)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

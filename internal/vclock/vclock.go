@@ -1,0 +1,160 @@
+// Package vclock abstracts time for components with retry/backoff or
+// scheduling logic, so their tests can drive a fake clock by hand instead
+// of sleeping real wall-clock time (and flaking on loaded CI machines).
+// The service client, the fleet federation layer, and the chaos
+// fault-injection transport all take a Clock; production code uses Real,
+// tests use Fake with manual Advance.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface the retry/backoff and scheduling
+// code needs: reading the current time and waiting for a duration.
+type Clock interface {
+	Now() time.Time
+	// After returns a channel that delivers the (clock's) current time
+	// once d has elapsed. A non-positive d fires immediately.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now returns time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// After defers to time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced clock. Timers created with After fire only
+// when Advance (or Set) moves the clock past their deadline; BlockUntil
+// lets a test wait for the code under test to reach its sleep before
+// advancing. Safe for concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeTimer
+	blocked []chan struct{} // BlockUntil callers waiting for more timers
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFake returns a fake clock starting at t. A zero t starts at a fixed
+// arbitrary epoch so tests are reproducible without picking a date.
+func NewFake(t time.Time) *Fake {
+	if t.IsZero() {
+		t = time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC) // ASPLOS'22 week
+	}
+	return &Fake{now: t}
+}
+
+// Now returns the fake clock's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After registers a timer d from now. Non-positive durations fire
+// immediately (matching time.After's behavior closely enough for backoff
+// code that computes a zero wait).
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, &fakeTimer{at: f.now.Add(d), ch: ch})
+	for _, b := range f.blocked {
+		select {
+		case b <- struct{}{}:
+		default:
+		}
+	}
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached. Timers fire with the post-advance clock reading.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.setLocked(f.now.Add(d))
+}
+
+// Set jumps the clock to t (which must not move backwards) and fires due
+// timers.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t.After(f.now) {
+		f.setLocked(t)
+	}
+}
+
+func (f *Fake) setLocked(t time.Time) {
+	f.now = t
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.at.After(t) {
+			w.ch <- t
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	f.waiters = kept
+}
+
+// Pending returns how many timers are armed but not yet fired.
+func (f *Fake) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// Deadlines returns the pending timers' remaining durations, sorted
+// ascending — tests assert backoff growth through it.
+func (f *Fake) Deadlines() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]time.Duration, len(f.waiters))
+	for i, w := range f.waiters {
+		out[i] = w.at.Sub(f.now)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BlockUntil returns once at least n timers are pending — the handshake
+// that lets a test goroutine know the code under test has gone to sleep
+// before it advances the clock.
+func (f *Fake) BlockUntil(n int) {
+	for {
+		f.mu.Lock()
+		if len(f.waiters) >= n {
+			f.mu.Unlock()
+			return
+		}
+		wake := make(chan struct{}, 1)
+		f.blocked = append(f.blocked, wake)
+		f.mu.Unlock()
+		<-wake
+		f.mu.Lock()
+		for i, b := range f.blocked {
+			if b == wake {
+				f.blocked = append(f.blocked[:i], f.blocked[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+	}
+}

@@ -1,0 +1,98 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Time{})
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before the clock advanced")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if got := at.Sub(NewFake(time.Time{}).Now()); got != 10*time.Second {
+			t.Fatalf("timer delivered t+%v, want t+10s", got)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestFakeNonPositiveAfterFiresImmediately(t *testing.T) {
+	f := NewFake(time.Time{})
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", f.Pending())
+	}
+}
+
+func TestFakeBlockUntilHandshake(t *testing.T) {
+	f := NewFake(time.Time{})
+	fired := make(chan struct{})
+	go func() {
+		<-f.After(time.Minute)
+		close(fired)
+	}()
+	f.BlockUntil(1) // returns only after the goroutine armed its timer
+	if got := f.Deadlines(); len(got) != 1 || got[0] != time.Minute {
+		t.Fatalf("Deadlines = %v, want [1m]", got)
+	}
+	f.Advance(time.Minute)
+	<-fired
+}
+
+func TestFakeAdvanceFiresMultipleInOrder(t *testing.T) {
+	f := NewFake(time.Time{})
+	a := f.After(time.Second)
+	b := f.After(3 * time.Second)
+	f.Advance(2 * time.Second)
+	select {
+	case <-a:
+	default:
+		t.Fatal("1s timer not fired after 2s advance")
+	}
+	select {
+	case <-b:
+		t.Fatal("3s timer fired after only 2s")
+	default:
+	}
+	if f.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", f.Pending())
+	}
+	f.Advance(time.Second)
+	<-b
+}
+
+func TestFakeSetRefusesBackwards(t *testing.T) {
+	f := NewFake(time.Time{})
+	start := f.Now()
+	f.Set(start.Add(-time.Hour))
+	if !f.Now().Equal(start) {
+		t.Fatalf("Set moved the clock backwards to %v", f.Now())
+	}
+	f.Set(start.Add(time.Hour))
+	if got := f.Now().Sub(start); got != time.Hour {
+		t.Fatalf("Set advanced by %v, want 1h", got)
+	}
+}

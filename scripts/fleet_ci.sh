@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Integration check for the federated fleet: boot three plserved daemons
+# on random ports, run the -quick Figure 7 sweep through all of them via
+# plbench's comma-separated -server list, SIGKILL one daemon once it has
+# demonstrably executed part of the sweep, and assert the sweep still
+# completes with CSV output byte-identical to an in-process (no-server)
+# run — at-least-once dispatch, exactly-once results. Run from the
+# repository root; CI runs it after the unit tiers.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    rm -rf "$workdir"
+    for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+echo "--- building plserved, plbench and plctl"
+go build -o "$workdir/plserved" ./cmd/plserved
+go build -o "$workdir/plbench" ./cmd/plbench
+go build -o "$workdir/plctl" ./cmd/plctl
+
+echo "--- starting three plserved daemons"
+servers=()
+for i in 0 1 2; do
+    "$workdir/plserved" \
+        -addr 127.0.0.1:0 \
+        -addr-file "$workdir/addr$i" \
+        -workers 2 \
+        -cache-dir "$workdir/cache$i" \
+        2>"$workdir/plserved$i.log" &
+    pids+=($!)
+    disown $! # keep the later SIGKILL out of the shell's job reports
+done
+for i in 0 1 2; do
+    for _ in $(seq 1 100); do
+        [ -s "$workdir/addr$i" ] && break
+        kill -0 "${pids[$i]}" || { cat "$workdir/plserved$i.log"; echo "plserved $i died"; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$workdir/addr$i" ] || { echo "plserved $i never wrote its address"; exit 1; }
+    servers+=("http://$(cat "$workdir/addr$i")")
+    echo "    ${servers[$i]}"
+done
+fleet_list="${servers[0]},${servers[1]},${servers[2]}"
+victim=2
+
+echo "--- running the federated -quick Figure 7 sweep"
+"$workdir/plbench" -quick -fig 7 \
+    -server "$fleet_list" \
+    -workers 8 \
+    -csv "$workdir/fleet" \
+    >"$workdir/fleet.out" 2>"$workdir/fleet.err" &
+bench_pid=$!
+
+echo "--- waiting for the victim backend to execute part of the sweep"
+killed=""
+for _ in $(seq 1 300); do
+    if ! kill -0 "$bench_pid" 2>/dev/null; then
+        break
+    fi
+    executed=$("$workdir/plctl" -server "${servers[$victim]}" metrics 2>/dev/null \
+        | awk -F= '$1 == "svc.executed" { print $2 }') || executed=0
+    if [ "${executed:-0}" -ge 3 ]; then
+        echo "--- SIGKILL backend $victim (executed $executed jobs so far)"
+        kill -9 "${pids[$victim]}"
+        killed=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$killed" ] || { echo "sweep finished before the victim did any work; kill never fired"; exit 1; }
+
+if ! wait "$bench_pid"; then
+    echo "federated sweep failed after the kill"
+    tail -40 "$workdir/fleet.err"
+    exit 1
+fi
+grep -q . "$workdir/fleet/figure7.csv" || { echo "fleet run produced no CSV"; exit 1; }
+
+echo "--- running the in-process reference sweep"
+"$workdir/plbench" -quick -fig 7 -csv "$workdir/local" >/dev/null 2>&1 \
+    || { echo "in-process reference run failed"; exit 1; }
+
+echo "--- comparing CSVs"
+cmp "$workdir/fleet/figure7.csv" "$workdir/local/figure7.csv" \
+    || { echo "federated CSV differs from the in-process run"; exit 1; }
+
+echo "--- surviving backends report fleet traffic"
+for i in 0 1; do
+    sub=$("$workdir/plctl" -server "${servers[$i]}" metrics \
+        | awk -F= '$1 == "svc.submitted" { print $2 }')
+    [ "${sub:-0}" -ge 1 ] || { echo "backend $i saw no submissions"; exit 1; }
+done
+
+echo "fleet integration: OK"
