@@ -6,6 +6,7 @@
 //	plbench -fig 1,2,7,8,9        # several figures
 //	plbench -sec 9.1.3,9.2.1      # section studies
 //	plbench -table 1              # architecture + hardware tables
+//	plbench -security             # security matrix (leakage oracle)
 //	plbench -all                  # everything
 //	plbench -quick -fig 7         # fast, low-precision sizing
 //	plbench -workers 8 -all       # bound simulation parallelism
@@ -39,22 +40,23 @@ import (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "", "comma-separated figures to regenerate (1,2,7,8,9)")
-		secs    = flag.String("sec", "", "comma-separated sections (9.1.3, 9.2.1, 9.2.2, 9.2.3, 9.2.4)")
-		tables  = flag.String("table", "", "tables to print (1)")
-		all     = flag.Bool("all", false, "regenerate everything")
-		quick   = flag.Bool("quick", false, "use fast, low-precision simulation sizing")
-		warmup  = flag.Int64("warmup", 0, "override warmup instructions per core")
-		measure = flag.Int64("measure", 0, "override measured instructions per core")
-		seed    = flag.Uint64("seed", 0, "override workload seed")
-		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all CPUs)")
-		verbose = flag.Bool("v", false, "print each simulation as it completes")
-		csvDir  = flag.String("csv", "", "also write experiment data as CSV files into this directory")
-		server  = flag.String("server", "", "offload benchmark simulations to plserved; comma-separate several URLs for a fleet")
-		fleetCf = flag.String("fleet", "", "offload to a fleet described by this JSON config file (overrides -server)")
-		chart   = flag.Bool("chart", false, "render figures as terminal bar charts too")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		figs     = flag.String("fig", "", "comma-separated figures to regenerate (1,2,7,8,9)")
+		secs     = flag.String("sec", "", "comma-separated sections (9.1.3, 9.2.1, 9.2.2, 9.2.3, 9.2.4)")
+		tables   = flag.String("table", "", "tables to print (1)")
+		security = flag.Bool("security", false, "run the security matrix (adversarial kernels x defense policies)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		quick    = flag.Bool("quick", false, "use fast, low-precision simulation sizing")
+		warmup   = flag.Int64("warmup", 0, "override warmup instructions per core")
+		measure  = flag.Int64("measure", 0, "override measured instructions per core")
+		seed     = flag.Uint64("seed", 0, "override workload seed")
+		workers  = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all CPUs)")
+		verbose  = flag.Bool("v", false, "print each simulation as it completes")
+		csvDir   = flag.String("csv", "", "also write experiment data as CSV files into this directory")
+		server   = flag.String("server", "", "offload benchmark simulations to plserved; comma-separate several URLs for a fleet")
+		fleetCf  = flag.String("fleet", "", "offload to a fleet described by this JSON config file (overrides -server)")
+		chart    = flag.Bool("chart", false, "render figures as terminal bar charts too")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -256,6 +258,16 @@ func main() {
 	if want(*secs, "9.2.4") {
 		section(func() error {
 			fmt.Println(experiments.HardwareTable())
+			return nil
+		})
+	}
+	if *security || *all {
+		section(func() error {
+			m, err := experiments.RunSecurityMatrix(params.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(m)
 			return nil
 		})
 	}

@@ -77,6 +77,15 @@ type Config struct {
 	// store whose invalidation was deferred by a pinned line.
 	WriteRetryBackoff int
 
+	// DirPortsPerCycle bounds the demand requests (GetS/GetSInv/GetX)
+	// each directory slice accepts per cycle; excess requests retry the
+	// next cycle. Zero models unlimited directory bandwidth (the default,
+	// as in the paper's evaluation). A finite value makes directory-slice
+	// contention observable, which the interference-attack kernel uses to
+	// demonstrate the timing channel of invisible-speculation schemes
+	// (Behnia et al.).
+	DirPortsPerCycle int
+
 	// --- Pinned Loads hardware (paper Sections 5-6, Table 1) ---
 
 	// L1CSTEntries x L1CSTRecords size the per-core L1 Cache Shadow Table
@@ -209,6 +218,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("arch: LQIDTagBits must be in [8,32], got %d", c.LQIDTagBits)
 	case c.CPTEntries < 0:
 		return fmt.Errorf("arch: CPTEntries must be >= 0, got %d", c.CPTEntries)
+	case c.DirPortsPerCycle < 0:
+		return fmt.Errorf("arch: DirPortsPerCycle must be >= 0, got %d", c.DirPortsPerCycle)
 	}
 	return nil
 }

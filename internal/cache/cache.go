@@ -153,6 +153,46 @@ func (c *SetAssoc) ForEach(fn func(e *Line)) {
 	}
 }
 
+// LineSnap is one valid line in a Snapshot: its set, address, state, and
+// recency rank within the set (0 = most recently used). Ranks abstract the
+// internal LRU stamps so two arrays that would behave identically under
+// future accesses compare equal.
+type LineSnap struct {
+	Set   int
+	Addr  uint64
+	State State
+	Rank  int
+}
+
+// Snapshot returns every valid line ordered by set and, within a set, by
+// recency (most recent first). It captures the full observable tag-array
+// state — presence, coherence state, and replacement order — which the
+// security oracle diffs between runs.
+func (c *SetAssoc) Snapshot() []LineSnap {
+	var out []LineSnap
+	for s := 0; s < c.Sets(); s++ {
+		ws := c.set(s)
+		idx := make([]int, 0, c.ways)
+		for i := range ws {
+			if ws[i].State != Invalid {
+				idx = append(idx, i)
+			}
+		}
+		// Most recently used first (higher stamp = newer).
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				if ws[idx[b]].lru > ws[idx[a]].lru {
+					idx[a], idx[b] = idx[b], idx[a]
+				}
+			}
+		}
+		for r, i := range idx {
+			out = append(out, LineSnap{Set: s, Addr: ws[i].Addr, State: ws[i].State, Rank: r})
+		}
+	}
+	return out
+}
+
 // CountValid returns the number of valid lines in the given set.
 func (c *SetAssoc) CountValid(set int) int {
 	n := 0

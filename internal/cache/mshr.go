@@ -82,6 +82,20 @@ func (m *MSHR) PinnedLine(addr uint64) bool {
 	return i >= 0 && m.entries[i].pinned
 }
 
+// Lines returns the line addresses of all in-use entries in entry order.
+// Outstanding fills are observable microarchitectural state (an attacker
+// can probe MSHR occupancy through structural hazards), so the security
+// oracle includes them in its state fingerprint.
+func (m *MSHR) Lines() []uint64 {
+	var out []uint64
+	for i := range m.entries {
+		if m.entries[i].used {
+			out = append(out, m.entries[i].addr)
+		}
+	}
+	return out
+}
+
 // Release frees entry i and returns the coalesced waiter IDs. The returned
 // slice is valid until the entry is reallocated.
 func (m *MSHR) Release(i int) []int64 {

@@ -49,6 +49,13 @@ type Dir struct {
 
 	lines []dirLine // sets*ways, way-major within a set
 	stamp uint64
+
+	// demandUsed counts the demand requests accepted this cycle; when
+	// cfg.DirPortsPerCycle is non-zero, excess demand requests wait in the
+	// backlog, a FIFO served ahead of fresh arrivals (directory-port
+	// contention).
+	demandUsed int
+	backlog    []Msg
 }
 
 func newDir(idx int, cfg *arch.Config, fab *fabric, count *stats.Counters) *Dir {
@@ -97,6 +104,48 @@ func (d *Dir) PinnedInSet(line uint64) int {
 	return n
 }
 
+// DirSnap is one valid directory/LLC line in a Snapshot: its home set, the
+// line address, sharer/owner bookkeeping, any transient state, and the
+// recency rank within its set (0 = most recently used). Like
+// cache.LineSnap it abstracts raw LRU stamps into ranks.
+type DirSnap struct {
+	Set     int
+	Addr    uint64
+	Sharers uint32
+	Owner   int8
+	Busy    uint8
+	Rank    int
+}
+
+// Snapshot returns every valid line of the slice ordered by set and,
+// within a set, by recency (most recent first). The security oracle diffs
+// it between runs: a line installed, evicted, re-ordered, or left in a
+// different sharer state by a transient access is a directory-state leak.
+func (d *Dir) Snapshot() []DirSnap {
+	var out []DirSnap
+	for s := 0; s < d.cfg.LLCSets; s++ {
+		ws := d.lines[s*d.cfg.LLCWays : (s+1)*d.cfg.LLCWays]
+		idx := make([]int, 0, d.cfg.LLCWays)
+		for i := range ws {
+			if ws[i].valid {
+				idx = append(idx, i)
+			}
+		}
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				if ws[idx[b]].lru > ws[idx[a]].lru {
+					idx[a], idx[b] = idx[b], idx[a]
+				}
+			}
+		}
+		for r, i := range idx {
+			out = append(out, DirSnap{Set: s, Addr: ws[i].addr, Sharers: ws[i].sharers,
+				Owner: ws[i].owner, Busy: uint8(ws[i].busy), Rank: r})
+		}
+	}
+	return out
+}
+
 // InstallWarm pre-populates the LLC with a line (present, no L1 copies),
 // modeling the warm cache state a checkpointed simulation starts from. It
 // does nothing if the line is present or its set has no free way.
@@ -114,7 +163,51 @@ func (d *Dir) InstallWarm(line uint64) {
 	}
 }
 
+// newCycle resets the per-cycle demand-request budget and serves queued
+// demand requests. The backlog drains ahead of the cycle's fresh arrivals —
+// a request that has been waiting arbitrates before one that just landed,
+// like the FIFO request queue in front of a real directory controller — so
+// a burst of requests saturating one slice delays every later requestor,
+// the contention the interference-attack kernel measures.
+func (d *Dir) newCycle() {
+	d.demandUsed = 0
+	for len(d.backlog) > 0 && d.demandUsed < d.cfg.DirPortsPerCycle {
+		m := d.backlog[0]
+		d.backlog = d.backlog[1:]
+		d.demandUsed++
+		d.dispatch(m)
+	}
+}
+
+// admitDemand charges a demand request against the per-cycle port budget.
+// When the budget is exhausted the request joins the backlog and is served
+// by a later cycle's newCycle. Responses and internal completions are never
+// throttled, so transactions always drain.
+func (d *Dir) admitDemand(m Msg) bool {
+	if d.cfg.DirPortsPerCycle <= 0 {
+		return true
+	}
+	if d.demandUsed >= d.cfg.DirPortsPerCycle {
+		d.count.Inc("coh.dir_throttled")
+		d.backlog = append(d.backlog, m)
+		return false
+	}
+	d.demandUsed++
+	return true
+}
+
 func (d *Dir) handle(m Msg) {
+	switch m.Kind {
+	case GetS, GetSInv, GetX, GetXStar:
+		if !d.admitDemand(m) {
+			return
+		}
+	}
+	d.dispatch(m)
+}
+
+// dispatch processes an (already admitted) message.
+func (d *Dir) dispatch(m Msg) {
 	switch m.Kind {
 	case GetS:
 		d.handleGetS(m)

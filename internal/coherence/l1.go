@@ -152,6 +152,15 @@ func (l *L1) AcquirePort() bool {
 	return true
 }
 
+// TagSnapshot returns the observable state of the L1 tag array (valid
+// lines with coherence state and per-set recency ranks) for the security
+// oracle's state fingerprint.
+func (l *L1) TagSnapshot() []cache.LineSnap { return l.tags.Snapshot() }
+
+// MSHRLines returns the line addresses of the L1's outstanding fills, also
+// part of the observable-state fingerprint.
+func (l *L1) MSHRLines() []uint64 { return l.mshr.Lines() }
+
 // Probe reports whether the line is present and readable, without changing
 // any state. Delay-On-Miss uses it to decide whether a speculative load may
 // proceed.

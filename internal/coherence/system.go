@@ -35,6 +35,12 @@ func NewSystem(cfg *arch.Config, count *stats.Counters) *System {
 // L1 returns core i's L1 controller.
 func (s *System) L1(i int) *L1 { return s.l1s[i] }
 
+// Dir returns directory/LLC slice i.
+func (s *System) Dir(i int) *Dir { return s.dirs[i] }
+
+// Dirs returns the number of directory/LLC slices.
+func (s *System) Dirs() int { return len(s.dirs) }
+
 // Prewarm installs lines into the LLC as present-but-uncached, modeling the
 // warm cache state a checkpointed simulation interval starts from.
 func (s *System) Prewarm(lines []uint64) {
@@ -52,6 +58,9 @@ func (s *System) Mesh() *mesh.Mesh { return s.mesh }
 func (s *System) Tick(cycle int64) {
 	for _, l := range s.l1s {
 		l.newCycle(cycle)
+	}
+	for _, d := range s.dirs {
+		d.newCycle()
 	}
 	for _, m := range s.fab.due(cycle) {
 		if m.Dst.Dir {

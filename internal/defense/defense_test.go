@@ -3,19 +3,25 @@ package defense
 import "testing"
 
 func TestSchemeStrings(t *testing.T) {
-	cases := map[Scheme]string{Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT"}
+	cases := map[Scheme]string{
+		Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT", IS: "IS",
+		Scheme(99): "Scheme(99)",
+	}
 	for s, want := range cases {
 		if s.String() != want {
-			t.Errorf("%d.String() = %q", s, s.String())
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
 		}
 	}
 }
 
 func TestVariantStrings(t *testing.T) {
-	cases := map[Variant]string{Comp: "COMP", LP: "LP", EP: "EP", Spectre: "SPECTRE"}
+	cases := map[Variant]string{
+		Comp: "COMP", LP: "LP", EP: "EP", Spectre: "SPECTRE",
+		Variant(99): "Variant(99)",
+	}
 	for v, want := range cases {
 		if v.String() != want {
-			t.Errorf("%d.String() = %q", v, v.String())
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
 		}
 	}
 }
@@ -25,8 +31,12 @@ func TestSchemesAndVariantsOrder(t *testing.T) {
 	if len(s) != 3 || s[0] != Fence || s[1] != DOM || s[2] != STT {
 		t.Fatalf("Schemes() = %v", s)
 	}
+	all := AllSchemes()
+	if len(all) != 4 || all[0] != Fence || all[1] != DOM || all[2] != STT || all[3] != IS {
+		t.Fatalf("AllSchemes() = %v", all)
+	}
 	v := Variants()
-	if len(v) != 4 || v[0] != Comp || v[3] != Spectre {
+	if len(v) != 4 || v[0] != Comp || v[1] != LP || v[2] != EP || v[3] != Spectre {
 		t.Fatalf("Variants() = %v", v)
 	}
 }
@@ -39,47 +49,123 @@ func TestCondHas(t *testing.T) {
 }
 
 func TestCondString(t *testing.T) {
-	if got := (CondCtrl | CondAlias).String(); got != "ctrl+alias" {
-		t.Fatalf("String = %q", got)
+	cases := []struct {
+		mask Cond
+		want string
+	}{
+		{0, "none"},
+		{CondCtrl, "ctrl"},
+		{CondAlias, "alias"},
+		{CondException, "exception"},
+		{CondMCV, "mcv"},
+		{CondCtrl | CondAlias, "ctrl+alias"},
+		{CondAlias | CondMCV, "alias+mcv"},
+		{CondCtrl | CondException | CondMCV, "ctrl+exception+mcv"},
+		{CondsComprehensive, "ctrl+alias+exception+mcv"},
+		{CondsSpectre, "ctrl"},
 	}
-	if Cond(0).String() != "none" {
-		t.Fatal("empty mask string")
-	}
-	if CondsComprehensive.String() != "ctrl+alias+exception+mcv" {
-		t.Fatalf("comprehensive = %q", CondsComprehensive.String())
+	for _, c := range cases {
+		if got := c.mask.String(); got != c.want {
+			t.Errorf("Cond(%d).String() = %q, want %q", c.mask, got, c.want)
+		}
 	}
 }
 
 func TestVPConds(t *testing.T) {
-	if (Policy{Scheme: Fence, Variant: Comp}).VPConds() != CondsComprehensive {
-		t.Fatal("Comp conds wrong")
+	cases := []struct {
+		name string
+		pol  Policy
+		want Cond
+	}{
+		{"comp", Policy{Scheme: Fence, Variant: Comp}, CondsComprehensive},
+		{"lp", Policy{Scheme: Fence, Variant: LP}, CondsComprehensive},
+		{"ep", Policy{Scheme: DOM, Variant: EP}, CondsComprehensive},
+		{"spectre", Policy{Scheme: Fence, Variant: Spectre}, CondsSpectre},
+		{"is-spectre", Policy{Scheme: IS, Variant: Spectre}, CondsSpectre},
+		{"override", Policy{Scheme: Fence, Conds: CondCtrl | CondAlias}, CondCtrl | CondAlias},
+		{"override-beats-variant", Policy{Scheme: Fence, Variant: Spectre,
+			Conds: CondsComprehensive}, CondsComprehensive},
+		{"override-single", Policy{Scheme: STT, Conds: CondMCV}, CondMCV},
 	}
-	if (Policy{Scheme: Fence, Variant: Spectre}).VPConds() != CondsSpectre {
-		t.Fatal("Spectre conds wrong")
-	}
-	if (Policy{Scheme: Fence, Variant: LP}).VPConds() != CondsComprehensive {
-		t.Fatal("LP conds wrong")
-	}
-	override := Policy{Scheme: Fence, Conds: CondCtrl | CondAlias}
-	if override.VPConds() != CondCtrl|CondAlias {
-		t.Fatal("Conds override ignored")
+	for _, c := range cases {
+		if got := c.pol.VPConds(); got != c.want {
+			t.Errorf("%s: VPConds() = %v, want %v", c.name, got, c.want)
+		}
 	}
 }
 
 func TestPinning(t *testing.T) {
-	if (Policy{Variant: Comp}).Pinning() || (Policy{Variant: Spectre}).Pinning() {
-		t.Fatal("non-pinning variants report pinning")
-	}
-	if !(Policy{Variant: LP}).Pinning() || !(Policy{Variant: EP}).Pinning() {
-		t.Fatal("pinning variants not detected")
+	cases := map[Variant]bool{Comp: false, LP: true, EP: true, Spectre: false}
+	for v, want := range cases {
+		if got := (Policy{Variant: v}).Pinning(); got != want {
+			t.Errorf("%s: Pinning() = %v, want %v", v, got, want)
+		}
 	}
 }
 
 func TestPolicyString(t *testing.T) {
-	if got := (Policy{Scheme: DOM, Variant: EP}).String(); got != "DOM-EP" {
-		t.Fatalf("String = %q", got)
+	cases := []struct {
+		pol  Policy
+		want string
+	}{
+		{Policy{Scheme: DOM, Variant: EP}, "DOM-EP"},
+		{Policy{Scheme: Unsafe}, "Unsafe-COMP"},
+		{Policy{Scheme: IS, Variant: Spectre}, "IS-SPECTRE"},
+		{Policy{Scheme: Fence, Conds: CondCtrl}, "Fence[ctrl]"},
+		{Policy{Scheme: STT, Conds: CondAlias | CondMCV}, "STT[alias+mcv]"},
 	}
-	if got := (Policy{Scheme: Fence, Conds: CondCtrl}).String(); got != "Fence[ctrl]" {
-		t.Fatalf("String = %q", got)
+	for _, c := range cases {
+		if got := c.pol.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, s := range append([]Scheme{Unsafe}, AllSchemes()...) {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme accepted an unknown name")
+	}
+	for _, v := range Variants() {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", v, got, err)
+		}
+	}
+	if _, err := ParseVariant("bogus"); err == nil {
+		t.Error("ParseVariant accepted an unknown name")
+	}
+	for _, c := range []Cond{CondCtrl, CondAlias, CondException, CondMCV} {
+		got, err := ParseCond(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCond(%q) = %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseCond("bogus"); err == nil {
+		t.Error("ParseCond accepted an unknown name")
+	}
+}
+
+func TestCondNames(t *testing.T) {
+	got := CondsComprehensive.Names()
+	want := []string{"ctrl", "alias", "exception", "mcv"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if n := (CondAlias | CondMCV).Names(); len(n) != 2 || n[0] != "alias" || n[1] != "mcv" {
+		t.Fatalf("subset Names() = %v", n)
+	}
+	if n := Cond(0).Names(); len(n) != 0 {
+		t.Fatalf("empty Names() = %v", n)
 	}
 }

@@ -126,6 +126,20 @@ func goldenCPTStudy() *CPTStudy {
 	return &CPTStudy{MeanOccupancy: 1.0625, MaxOccupancy: 6, OverflowRate: 0.0000625, Inserts: 123456}
 }
 
+func goldenSecurityMatrix() *SecurityMatrix {
+	return &SecurityMatrix{
+		Kernels: []string{"spectre_v1", "interference"},
+		Rows: []SecurityRow{
+			{Policy: "Unsafe-COMP", Verdicts: []string{"LEAK(state)", "LEAK(state+timing)"},
+				CPIs: []float64{19.5, 15.25}},
+			{Policy: "Fence-COMP", Verdicts: []string{"blocked", "blocked"},
+				CPIs: []float64{19.5, 15.25}},
+			{Policy: "IS-COMP", Verdicts: []string{"blocked", "LEAK(timing)"},
+				CPIs: []float64{19.5, 15.25}},
+		},
+	}
+}
+
 // TestGoldenTableRenderer pins the fixed-width table builder's output.
 func TestGoldenTableRenderer(t *testing.T) {
 	tb := &table{header: []string{"Name", "Value", "Notes"}}
@@ -149,6 +163,7 @@ func TestGoldenTables(t *testing.T) {
 		{"wdstudy_table.golden", goldenWdStudy()},
 		{"cststudy_table.golden", goldenCSTStudy()},
 		{"cptstudy_table.golden", goldenCPTStudy()},
+		{"securitymatrix_table.golden", goldenSecurityMatrix()},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

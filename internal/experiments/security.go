@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/sectest"
+)
+
+// SecurityMatrix is the security regression tier's rendered artifact: the
+// leakage-oracle verdict and CPI of every defense policy against every
+// adversarial kernel, plus the per-scheme CPI envelopes the tier enforces.
+// Unlike the performance studies it is not sized by Params — each kernel
+// runs to completion twice (secret=0 and secret=1) per policy, and the
+// oracle diffs the observable outcome.
+type SecurityMatrix struct {
+	Kernels []string
+	Rows    []SecurityRow
+}
+
+// SecurityRow is one policy's line of the matrix.
+type SecurityRow struct {
+	Policy string
+	// Verdicts and CPIs align with the parent's Kernels.
+	Verdicts []string
+	CPIs     []float64
+}
+
+// RunSecurityMatrix evaluates the security matrix. With no kernels given
+// it runs the full set; tests pass a subset to bound runtime.
+func RunSecurityMatrix(seed uint64, kernels ...string) (*SecurityMatrix, error) {
+	if len(kernels) == 0 {
+		kernels = sectest.Kernels()
+	}
+	m := &SecurityMatrix{Kernels: kernels}
+	for _, pol := range sectest.Policies() {
+		row := SecurityRow{Policy: pol.String()}
+		for _, kernel := range kernels {
+			c, err := sectest.EvalCell(pol, kernel, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Verdicts = append(row.Verdicts, c.Verdict.String())
+			row.CPIs = append(row.CPIs, c.CPI)
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m, nil
+}
+
+// String renders the matrix and the enforced CPI envelopes.
+func (m *SecurityMatrix) String() string {
+	tb := &table{header: append([]string{"Policy"}, m.Kernels...)}
+	for _, r := range m.Rows {
+		cells := []string{r.Policy}
+		for i := range m.Kernels {
+			cells = append(cells, fmt.Sprintf("%s cpi=%.3f", r.Verdicts[i], r.CPIs[i]))
+		}
+		tb.add(cells...)
+	}
+	out := "Security matrix (leakage oracle, secret=0 vs secret=1)\n" + tb.String()
+
+	env := &table{header: []string{"Scheme", "Kernel", "CPI low", "CPI high"}}
+	schemes := append([]defense.Scheme{defense.Unsafe}, defense.AllSchemes()...)
+	for _, s := range schemes {
+		for _, kernel := range m.Kernels {
+			if bounds, ok := sectest.CPIEnvelope(s, kernel); ok {
+				env.add(s.String(), kernel,
+					fmt.Sprintf("%.1f", bounds[0]), fmt.Sprintf("%.1f", bounds[1]))
+			}
+		}
+	}
+	return out + "\nEnforced CPI envelopes\n" + env.String()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/sectest"
+)
+
+// TestRunSecurityMatrixAgreesWithOracle runs one kernel's column end to
+// end through the study and checks every rendered verdict matches the
+// oracle's claimed matrix (the full matrix is internal/sectest's job; the
+// study only re-renders it).
+func TestRunSecurityMatrixAgreesWithOracle(t *testing.T) {
+	m, err := RunSecurityMatrix(1, "spectre_v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := sectest.Policies()
+	if len(m.Rows) != len(pols) {
+		t.Fatalf("matrix has %d rows, want %d", len(m.Rows), len(pols))
+	}
+	for i, row := range m.Rows {
+		want := sectest.Expected(pols[i], "spectre_v1").String()
+		if row.Policy != pols[i].String() {
+			t.Errorf("row %d: policy %q, want %q", i, row.Policy, pols[i])
+		}
+		if len(row.Verdicts) != 1 || row.Verdicts[0] != want {
+			t.Errorf("%s: verdict %v, want %q", row.Policy, row.Verdicts, want)
+		}
+	}
+	out := m.String()
+	if !strings.Contains(out, "Security matrix") || !strings.Contains(out, "Enforced CPI envelopes") {
+		t.Fatalf("rendering lacks expected sections:\n%s", out)
+	}
+}

@@ -90,6 +90,17 @@ type Inst struct {
 	// the workload supplies the post-fault stream.
 	Fault bool
 
+	// TransientAddr, when non-zero on a Load, is the address the load uses
+	// if its address generation completes while an older squash source
+	// (any Comprehensive-model condition) is still unresolved; otherwise
+	// the load uses Addr. It models a secret-dependent address computed
+	// from transiently forwarded data: on the replayed (architecturally
+	// correct) path the older sources have resolved, so the load reads
+	// Addr and the secret never reaches retirement. Adversarial kernels
+	// use it to emit alias- and MCV-window gadgets; ordinary workloads
+	// leave it zero.
+	TransientAddr uint64
+
 	// PC is an abstract program counter used by the real branch
 	// predictors and by trace inspection tools.
 	PC uint64

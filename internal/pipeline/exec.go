@@ -1,6 +1,9 @@
 package pipeline
 
-import "pinnedloads/internal/isa"
+import (
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/isa"
+)
 
 // deref resolves a ref to its live entry, or nil if the generation was
 // squashed (or the slot refetched by a different instruction).
@@ -102,6 +105,7 @@ func (c *Core) complete() {
 			// policy to let it access memory (issueLoads).
 			e.addrReady = true
 			e.state = stAddrDone
+			c.effectiveAddr(e)
 		case isa.Store:
 			e.addrReady = true
 			c.finish(e)
@@ -127,6 +131,30 @@ func (c *Core) complete() {
 		default:
 			c.finish(e)
 		}
+	}
+}
+
+// effectiveAddr resolves a load's effective address when its operands carry
+// transiently forwarded data (inst.TransientAddr != 0): inside a still-open
+// speculative window the secret-dependent transient address is live; once
+// every older squash source under the full Comprehensive condition set has
+// resolved, the operands hold their architectural values and the load uses
+// inst's original address. The choice is re-evaluated at every point the
+// address is consumed before the load's (visible) memory access — address
+// generation, each issue attempt, pin admission, and the IS exposure — so a
+// defense that delays the access past the window never touches the secret
+// address, while an unprotected issue inside the window does.
+func (c *Core) effectiveAddr(e *entry) {
+	if e.inst.TransientAddr == 0 || !e.addrReady {
+		return
+	}
+	addr := e.archAddr
+	if !c.comprehensivelySafe(e.seq) {
+		addr = e.inst.TransientAddr
+	}
+	if e.inst.Addr != addr {
+		e.inst.Addr = addr
+		e.line = arch.LineAddr(addr)
 	}
 }
 

@@ -112,6 +112,7 @@ func (c *Core) insert(in isa.Inst, winIdx int64) {
 		c.loadsInROB++
 		c.loadSeqs = append(c.loadSeqs, seq)
 		e.line = arch.LineAddr(in.Addr)
+		e.archAddr = in.Addr
 	case isa.Lock:
 		c.loadsInROB++
 		c.fences = append(c.fences, seq)

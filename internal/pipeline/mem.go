@@ -17,6 +17,7 @@ func (c *Core) issueLoads() {
 		if e.state != stAddrDone {
 			continue
 		}
+		c.effectiveAddr(e)
 		mode := c.mayIssueLoad(e)
 		if mode == issueDenied {
 			continue
@@ -141,6 +142,9 @@ func (c *Core) exposeLoads() {
 		if !c.reachedVP(e) {
 			continue
 		}
+		// The exposure is the load's first visible access; it re-reads the
+		// address operands, which post-VP hold architectural values.
+		c.effectiveAddr(e)
 		if !c.l1.AcquirePort() {
 			return
 		}

@@ -67,6 +67,9 @@ type entry struct {
 	pinSafe bool
 	line    uint64
 	token   int64
+	// archAddr preserves a load's architectural address while inst.Addr
+	// holds the effective (possibly transient) one; see effectiveAddr.
+	archAddr uint64
 
 	// Control state.
 	resolved bool
@@ -151,6 +154,7 @@ type Core struct {
 	wrongMode  bool
 	stallUntil int64
 	halted     bool
+	haltCycle  int64
 
 	// Execution.
 	readyQ   []ref
@@ -220,6 +224,7 @@ func NewCore(id int, cfg *arch.Config, policy defense.Policy, l1 *coherence.L1,
 		tagToSeq:       make(map[uint32]int64),
 		lqTagMask:      uint32(1)<<uint(cfg.LQIDTagBits) - 1,
 		doneCycle:      -1,
+		haltCycle:      -1,
 		pinPendingSeq:  -1,
 		oldestLoadSeq:  -1,
 		lastRetiredWin: -1,
@@ -278,6 +283,11 @@ func (c *Core) DoneCycle() int64 { return c.doneCycle }
 
 // Halted reports whether the workload ended and the pipeline drained.
 func (c *Core) Halted() bool { return c.halted && c.head == c.tail }
+
+// HaltCycle returns the cycle the core halted (workload ended and pipeline
+// drained), or -1 if it has not. The security oracle compares per-core
+// halt cycles between runs: a shift is a timing leak.
+func (c *Core) HaltCycle() int64 { return c.haltCycle }
 
 // CPT returns the core's Cannot-Pin Table (nil without pinning).
 func (c *Core) CPT() *pin.CPT { return c.cpt }
@@ -338,6 +348,9 @@ func (c *Core) Tick(now int64) {
 	}
 	if c.target > 0 && c.doneCycle < 0 && c.retired >= c.target {
 		c.doneCycle = now
+	}
+	if c.haltCycle < 0 && c.halted && c.head == c.tail {
+		c.haltCycle = now
 	}
 }
 

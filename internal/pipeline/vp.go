@@ -116,6 +116,22 @@ func (c *Core) reachedVP(e *entry) bool {
 	return true
 }
 
+// comprehensivelySafe reports whether every instruction older than seq has
+// passed the full Comprehensive-model condition set: no older branch,
+// store-address, exception, or memory-consistency squash source remains.
+// It is independent of the active policy: it asks whether the machine is
+// still inside a speculative window in which seq could be squashed, which
+// decides whether a load's TransientAddr (transiently forwarded secret) or
+// its architectural Addr takes effect.
+func (c *Core) comprehensivelySafe(seq int64) bool {
+	for s := c.head; s < seq; s++ {
+		if !c.frontierPass(c.at(s), defense.CondsComprehensive) {
+			return false
+		}
+	}
+	return true
+}
+
 // tainted reports whether the entry's value (for loads: address operands)
 // transitively depends on a load that has not yet reached its VP — the STT
 // taint condition. The youngest-root optimization is sound because the VP
@@ -178,6 +194,10 @@ func (c *Core) pinGovernor() {
 		if c.pinVPFrontier < e.seq || !e.addrReady || e.inst.Fault {
 			return
 		}
+		// Pin admission consumes the line address; resolve it first. At
+		// this point every older load is pinned or MCV-safe, so the
+		// architectural address always wins here.
+		c.effectiveAddr(e)
 		// Write-buffer deadlock check (paper Section 5.1.2): every
 		// yet-to-complete older store must fit in the write buffer.
 		if c.olderUndrainedStores(e.seq) > c.cfg.WriteBufferEntries {

@@ -1,0 +1,396 @@
+// Package sectest is the simulator's security regression tier: a leakage
+// oracle that runs deterministic adversarial workloads (internal/trace's
+// Attack kernels) under every defense policy and decides, per policy x
+// kernel cell, whether the configuration leaks.
+//
+// The oracle exploits the simulator's determinism. Each kernel is run
+// twice with identical seeds and configuration, differing only in the
+// secret the transient gadget tries to exfiltrate. In a machine that
+// blocks the kernel's channel the two runs are indistinguishable: the
+// post-run cache and directory state match line for line, and every core
+// halts on the same cycle. Any divergence is a leak, classified as
+//
+//   - StateLeak: the post-run microarchitectural state differs (cache tag
+//     arrays, replacement order, coherence/directory state) — the channel
+//     a cache side-channel attack like Flush+Reload reads out.
+//   - TimingLeak: a core's halt cycle differs — the channel a speculative
+//     interference attack (Behnia et al.) reads out, which exists even
+//     when all cache state is hidden.
+//
+// Because both runs share one seed, workload jitter cancels exactly; the
+// secret is the only input bit that changes, so the oracle has no false
+// positives by construction. False negatives are bounded by the kernels:
+// each is built so the unprotected baseline demonstrably leaks (the
+// matrix test pins that, keeping the kernels honest).
+package sectest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/core"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/obs"
+	"pinnedloads/internal/speckey"
+	"pinnedloads/internal/trace"
+)
+
+// Kernels lists the adversarial kernels in matrix order, one per squash
+// source of the threat model plus the interference timing channel.
+func Kernels() []string {
+	return []string{"spectre_v1", "alias", "mcv", "interference"}
+}
+
+// Policies lists the full security matrix: the unprotected baseline plus
+// every protected scheme under every variant.
+func Policies() []defense.Policy {
+	out := []defense.Policy{{Scheme: defense.Unsafe}}
+	for _, s := range defense.AllSchemes() {
+		for _, v := range defense.Variants() {
+			out = append(out, defense.Policy{Scheme: s, Variant: v})
+		}
+	}
+	return out
+}
+
+// ConfigFor returns the machine configuration a kernel runs under: the
+// paper's Table 1 machine, with the directory request ports constrained
+// for the interference kernel so slice contention is observable (an
+// unlimited-port directory has no timing channel to find).
+func ConfigFor(kernel string) arch.Config {
+	atk := trace.Attack{AttackKind: kernel}
+	cfg := arch.PaperConfig(atk.Cores())
+	if kernel == "interference" {
+		cfg.DirPortsPerCycle = 1
+		// The attacker's measuring stream must observe raw directory
+		// latency; the stride prefetcher would run ahead of it and absorb
+		// the contention delay (a real attacker defeats it with an
+		// irregular stride).
+		cfg.Prefetch = false
+	}
+	return cfg
+}
+
+// drainCycles is how long the memory system keeps ticking after the last
+// core halts, so in-flight fills (including those of squashed loads, whose
+// cache footprint is exactly what leaks) install before the oracle
+// snapshots the state.
+const drainCycles = 4096
+
+// Observation is everything the oracle considers observable about one run:
+// an attacker with cache side channels sees State, an attacker with a
+// stopwatch sees Timing. Everything else (counters, event traces) is
+// diagnostic only.
+type Observation struct {
+	// State is the canonical rendering of the post-run microarchitectural
+	// state: every L1's tag array (lines, coherence states, LRU order) and
+	// outstanding MSHRs, and every directory slice's line state.
+	State string
+	// Timing is each core's halt cycle.
+	Timing []int64
+	// Retired is each core's retired instruction count (architectural;
+	// equal across secrets by construction).
+	Retired []int64
+	// CPI is core 0's cycles per retired instruction, the security tier's
+	// performance envelope metric.
+	CPI float64
+	// Events summarizes the run's obs event stream (kind, and for
+	// squashes kind.cause, to counts). Diagnostic: it shows which squash
+	// sources the kernel actually exercised.
+	Events map[string]int64
+	// Key is the run's content-addressed identity (speckey), tying the
+	// observation to the exact kernel, policy, configuration and seed.
+	Key string
+}
+
+// Observe runs one kernel under one policy with the given secret and
+// returns the observable outcome.
+func Observe(pol defense.Policy, kernel string, secret, seed uint64) (Observation, error) {
+	atk := &trace.Attack{AttackKind: kernel, Secret: secret}
+	cfg := ConfigFor(kernel)
+	sys, err := core.New(cfg, pol, atk, seed)
+	if err != nil {
+		return Observation{}, err
+	}
+	ring := obs.NewRing(1 << 17)
+	sys.SetRecorder(ring)
+	// Run to halt: the kernels are finite, so an absurd measure target
+	// just means "until every core halts".
+	if _, err := sys.Run(0, 1<<40); err != nil {
+		return Observation{}, fmt.Errorf("sectest: %s under %s: %w", kernel, pol, err)
+	}
+	// Let in-flight transactions land before snapshotting: a squashed
+	// load's fill that installs after the halt is still attacker-visible
+	// state.
+	cyc := sys.Cycle()
+	for i := int64(1); i <= drainCycles; i++ {
+		sys.Mem().Tick(cyc + i)
+	}
+
+	o := Observation{
+		State:  stateFingerprint(sys, cfg),
+		Events: eventSummary(ring),
+		Key: speckey.Spec{
+			Benchmark: atk.Name(),
+			Scheme:    pol.Scheme.String(),
+			Variant:   pol.Variant.String(),
+			Conds:     uint8(pol.VPConds()),
+			Seed:      seed,
+			Config:    &cfg,
+			Attack:    speckey.AttackCanonical(atk),
+		}.Key(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		o.Timing = append(o.Timing, sys.Core(i).HaltCycle())
+		o.Retired = append(o.Retired, sys.Core(i).Retired())
+	}
+	if o.Retired[0] > 0 {
+		o.CPI = float64(o.Timing[0]) / float64(o.Retired[0])
+	}
+	return o, nil
+}
+
+// stateFingerprint renders the machine's attacker-observable memory-system
+// state. It deliberately excludes anything timing-derived; timing is
+// compared separately so the oracle can tell the two channels apart.
+func stateFingerprint(sys *core.System, cfg arch.Config) string {
+	var b strings.Builder
+	mem := sys.Mem()
+	for i := 0; i < cfg.Cores; i++ {
+		fmt.Fprintf(&b, "L1[%d]\n", i)
+		for _, ln := range mem.L1(i).TagSnapshot() {
+			fmt.Fprintf(&b, " set=%d addr=%#x state=%d rank=%d\n",
+				ln.Set, ln.Addr, ln.State, ln.Rank)
+		}
+		for _, a := range mem.L1(i).MSHRLines() {
+			fmt.Fprintf(&b, " mshr=%#x\n", a)
+		}
+	}
+	for s := 0; s < mem.Dirs(); s++ {
+		fmt.Fprintf(&b, "Dir[%d]\n", s)
+		for _, ln := range mem.Dir(s).Snapshot() {
+			fmt.Fprintf(&b, " set=%d addr=%#x sharers=%#x owner=%d busy=%d rank=%d\n",
+				ln.Set, ln.Addr, ln.Sharers, ln.Owner, ln.Busy, ln.Rank)
+		}
+	}
+	return b.String()
+}
+
+// eventSummary folds the ring's event stream into per-kind counts
+// (squashes additionally keyed by cause).
+func eventSummary(ring *obs.Ring) map[string]int64 {
+	out := make(map[string]int64)
+	for _, ev := range ring.Events() {
+		k := ev.Kind.String()
+		if ev.Kind == obs.KindSquash {
+			k += "." + ev.Cause.String()
+		}
+		out[k]++
+	}
+	return out
+}
+
+// Verdict is the oracle's decision for one policy x kernel cell.
+type Verdict struct {
+	StateLeak  bool
+	TimingLeak bool
+}
+
+// Leaks reports whether any channel leaked.
+func (v Verdict) Leaks() bool { return v.StateLeak || v.TimingLeak }
+
+// String renders the verdict as it appears in the matrix table.
+func (v Verdict) String() string {
+	switch {
+	case v.StateLeak && v.TimingLeak:
+		return "LEAK(state+timing)"
+	case v.StateLeak:
+		return "LEAK(state)"
+	case v.TimingLeak:
+		return "LEAK(timing)"
+	}
+	return "blocked"
+}
+
+// Compare diffs two observations of the same configuration that differed
+// only in the secret.
+func Compare(a, b Observation) Verdict {
+	v := Verdict{StateLeak: a.State != b.State}
+	if len(a.Timing) != len(b.Timing) {
+		v.TimingLeak = true
+		return v
+	}
+	for i := range a.Timing {
+		if a.Timing[i] != b.Timing[i] {
+			v.TimingLeak = true
+		}
+	}
+	return v
+}
+
+// Cell is one evaluated cell of the security matrix.
+type Cell struct {
+	Kernel  string
+	Policy  defense.Policy
+	Verdict Verdict
+	// CPI is the secret=0 run's core-0 CPI (the envelope metric).
+	CPI float64
+	// Events is the secret=0 run's event summary (diagnostics).
+	Events map[string]int64
+}
+
+// EvalCell runs one policy x kernel cell: two observations, one diff.
+func EvalCell(pol defense.Policy, kernel string, seed uint64) (Cell, error) {
+	a, err := Observe(pol, kernel, 0, seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	b, err := Observe(pol, kernel, 1, seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{
+		Kernel:  kernel,
+		Policy:  pol,
+		Verdict: Compare(a, b),
+		CPI:     a.CPI,
+		Events:  a.Events,
+	}, nil
+}
+
+// Matrix evaluates every policy against every kernel.
+func Matrix(seed uint64) ([]Cell, error) {
+	var cells []Cell
+	for _, kernel := range Kernels() {
+		for _, pol := range Policies() {
+			c, err := EvalCell(pol, kernel, seed)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// RenderMatrix renders cells as the security-matrix table, one row per
+// policy, one column per kernel.
+func RenderMatrix(cells []Cell) string {
+	byPolicy := map[string]map[string]Verdict{}
+	var polOrder []string
+	for _, c := range cells {
+		p := c.Policy.String()
+		if byPolicy[p] == nil {
+			byPolicy[p] = map[string]Verdict{}
+			polOrder = append(polOrder, p)
+		}
+		byPolicy[p][c.Kernel] = c.Verdict
+	}
+	kernels := Kernels()
+	w := 20
+	var b strings.Builder
+	line := fmt.Sprintf("%-14s", "policy")
+	for _, k := range kernels {
+		line += fmt.Sprintf("%-*s", w, k)
+	}
+	b.WriteString(strings.TrimRight(line, " ") + "\n")
+	for _, p := range polOrder {
+		line = fmt.Sprintf("%-14s", p)
+		for _, k := range kernels {
+			line += fmt.Sprintf("%-*s", w, byPolicy[p][k].String())
+		}
+		b.WriteString(strings.TrimRight(line, " ") + "\n")
+	}
+	return b.String()
+}
+
+// Expected returns the verdict the threat-model matrix claims for one
+// policy x kernel cell. This is the contract the security tier enforces:
+//
+//   - Unsafe leaks every channel: the three state kernels diverge in cache
+//     state, the interference kernel additionally in timing.
+//   - Fence, DOM and STT under the Comprehensive model (Comp, and the LP/EP
+//     pinning extensions) block all four kernels outright.
+//   - IS under the Comprehensive model hides all state but still leaks the
+//     interference kernel's timing channel: invisible accesses occupy
+//     directory ports even though they install nothing (Behnia et al.).
+//   - The Spectre variant of every scheme blocks the control channel but
+//     leaks the alias and mcv kernels: their transmitters sit on correct
+//     paths with no older branch, so the Spectre-model VP is already
+//     reached when the transient window is still open.
+//
+// Late and Early Pinning never change a verdict relative to Comp — the
+// paper's claim that pinning recovers performance without weakening the
+// defense — which the matrix test asserts structurally as well.
+func Expected(pol defense.Policy, kernel string) Verdict {
+	if pol.Scheme == defense.Unsafe {
+		if kernel == "interference" {
+			return Verdict{StateLeak: true, TimingLeak: true}
+		}
+		return Verdict{StateLeak: true}
+	}
+	spectreModel := pol.VPConds() == defense.CondsSpectre
+	switch kernel {
+	case "spectre_v1":
+		return Verdict{} // every scheme guards the control channel
+	case "alias", "mcv":
+		return Verdict{StateLeak: spectreModel}
+	case "interference":
+		// The victim's burst is control-shielded, so even the Spectre
+		// model delays it — but IS only hides its state, not its port
+		// contention.
+		return Verdict{TimingLeak: pol.Scheme == defense.IS}
+	}
+	panic("sectest: unknown kernel " + kernel)
+}
+
+// cpiEnvelopes bounds each scheme x kernel cell's core-0 CPI (secret=0
+// run, seed 1): [low, high] spans the measured CPIs of the scheme's
+// variants with ~25% headroom. A breach means the defense's performance
+// character changed — a pinning optimization regressed, or a scheme
+// stopped gating what it should — even if no leak appeared.
+var cpiEnvelopes = map[defense.Scheme]map[string][2]float64{
+	defense.Unsafe: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {8.6, 14.5}, "interference": {11.4, 19.1},
+	},
+	defense.Fence: {
+		"spectre_v1": {14.0, 25.0}, "alias": {2.0, 20.8},
+		"mcv": {1.9, 21.0}, "interference": {11.4, 19.1},
+	},
+	defense.DOM: {
+		"spectre_v1": {14.0, 25.0}, "alias": {2.0, 20.8},
+		"mcv": {2.0, 23.7}, "interference": {11.4, 19.1},
+	},
+	defense.STT: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {1.6, 14.5}, "interference": {11.4, 19.1},
+	},
+	defense.IS: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {1.6, 23.0}, "interference": {11.4, 19.1},
+	},
+}
+
+// CPIEnvelope returns the [low, high] CPI bounds for a scheme x kernel
+// cell and whether an envelope is defined for it.
+func CPIEnvelope(scheme defense.Scheme, kernel string) ([2]float64, bool) {
+	env, ok := cpiEnvelopes[scheme][kernel]
+	return env, ok
+}
+
+// eventsString renders an event summary for test failure messages.
+func eventsString(ev map[string]int64) string {
+	keys := make([]string, 0, len(ev))
+	for k := range ev {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, ev[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,262 @@
+package sectest
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pinnedloads/internal/defense"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// The matrix is evaluated once per test binary; every assertion reads the
+// shared result.
+var (
+	matrixOnce  sync.Once
+	matrixCells []Cell
+	matrixErr   error
+)
+
+func matrix(t *testing.T) []Cell {
+	t.Helper()
+	matrixOnce.Do(func() { matrixCells, matrixErr = Matrix(1) })
+	if matrixErr != nil {
+		t.Fatal(matrixErr)
+	}
+	return matrixCells
+}
+
+func cell(t *testing.T, pol defense.Policy, kernel string) Cell {
+	t.Helper()
+	for _, c := range matrix(t) {
+		if c.Policy == pol && c.Kernel == kernel {
+			return c
+		}
+	}
+	t.Fatalf("matrix has no cell %s x %s", pol, kernel)
+	return Cell{}
+}
+
+// TestMatrixMatchesClaims is the security tier's core assertion: every
+// policy x kernel cell's verdict equals what the threat-model matrix
+// claims. A cell that starts leaking is a security regression; a cell
+// that stops leaking means an attack kernel went dull (and would mask
+// real regressions), which is equally a failure.
+func TestMatrixMatchesClaims(t *testing.T) {
+	for _, c := range matrix(t) {
+		want := Expected(c.Policy, c.Kernel)
+		if c.Verdict != want {
+			t.Errorf("%s x %s: verdict %s, want %s (events: %s)",
+				c.Policy, c.Kernel, c.Verdict, want, eventsString(c.Events))
+		}
+	}
+}
+
+// TestUnsafeLeaksEveryKernel keeps the kernels honest: each must
+// demonstrably leak on the unprotected baseline, or it proves nothing
+// when a protected cell reports "blocked".
+func TestUnsafeLeaksEveryKernel(t *testing.T) {
+	for _, kernel := range Kernels() {
+		c := cell(t, defense.Policy{Scheme: defense.Unsafe}, kernel)
+		if !c.Verdict.StateLeak {
+			t.Errorf("%s: no state leak on Unsafe (events: %s)",
+				kernel, eventsString(c.Events))
+		}
+		if kernel == "interference" && !c.Verdict.TimingLeak {
+			t.Errorf("interference: no timing leak on Unsafe (events: %s)",
+				eventsString(c.Events))
+		}
+	}
+}
+
+// TestPinningPreservesVerdicts asserts the paper's central security
+// claim: extending a scheme with Late or Early Pinning never changes
+// what it blocks.
+func TestPinningPreservesVerdicts(t *testing.T) {
+	for _, s := range defense.AllSchemes() {
+		for _, kernel := range Kernels() {
+			comp := cell(t, defense.Policy{Scheme: s, Variant: defense.Comp}, kernel)
+			for _, v := range []defense.Variant{defense.LP, defense.EP} {
+				got := cell(t, defense.Policy{Scheme: s, Variant: v}, kernel)
+				if got.Verdict != comp.Verdict {
+					t.Errorf("%s x %s: %s verdict %s differs from COMP's %s",
+						s, kernel, v, got.Verdict, comp.Verdict)
+				}
+			}
+		}
+	}
+}
+
+// TestSpectreModelLeaksNonCtrlChannels asserts the threat-model boundary
+// is real: under the Spectre variant every scheme still blocks the
+// control channel but leaks both non-control state channels — the reason
+// the Comprehensive model exists.
+func TestSpectreModelLeaksNonCtrlChannels(t *testing.T) {
+	for _, s := range defense.AllSchemes() {
+		pol := defense.Policy{Scheme: s, Variant: defense.Spectre}
+		if c := cell(t, pol, "spectre_v1"); c.Verdict.Leaks() {
+			t.Errorf("%s: control channel leaks under the Spectre model", pol)
+		}
+		for _, kernel := range []string{"alias", "mcv"} {
+			if c := cell(t, pol, kernel); !c.Verdict.StateLeak {
+				t.Errorf("%s x %s: expected a state leak under the Spectre model "+
+					"(events: %s)", pol, kernel, eventsString(c.Events))
+			}
+		}
+	}
+}
+
+// TestKernelsExerciseTheirChannels checks, via the obs event stream, that
+// each kernel actually triggers the squash source it encodes through on
+// the unprotected baseline — a kernel that leaks by accident through some
+// other mechanism would pass the diff tests while testing nothing.
+func TestKernelsExerciseTheirChannels(t *testing.T) {
+	wantSquash := map[string]string{
+		"spectre_v1":   "squash.branch",
+		"alias":        "squash.alias",
+		"mcv":          "squash.mcv",
+		"interference": "squash.branch",
+	}
+	for kernel, ev := range wantSquash {
+		c := cell(t, defense.Policy{Scheme: defense.Unsafe}, kernel)
+		if c.Events[ev] == 0 {
+			t.Errorf("%s: no %s events on Unsafe (events: %s)",
+				kernel, ev, eventsString(c.Events))
+		}
+	}
+	// The pinning variants must actually pin on the mcv kernel — deferring
+	// the attacker's invalidation is how they keep the verdict blocked.
+	for _, s := range defense.AllSchemes() {
+		for _, v := range []defense.Variant{defense.LP, defense.EP} {
+			c := cell(t, defense.Policy{Scheme: s, Variant: v}, "mcv")
+			if c.Events["pin"] == 0 {
+				t.Errorf("%s-%s x mcv: pinning never engaged (events: %s)",
+					s, v, eventsString(c.Events))
+			}
+		}
+	}
+}
+
+// TestCPIEnvelopes asserts every cell's CPI stays inside its scheme's
+// measured envelope: the security tier also guards the performance
+// character of each defense.
+func TestCPIEnvelopes(t *testing.T) {
+	for _, c := range matrix(t) {
+		env, ok := CPIEnvelope(c.Policy.Scheme, c.Kernel)
+		if !ok {
+			t.Errorf("%s x %s: no CPI envelope defined", c.Policy, c.Kernel)
+			continue
+		}
+		if c.CPI < env[0] || c.CPI > env[1] {
+			t.Errorf("%s x %s: CPI %.3f outside envelope [%.1f, %.1f]",
+				c.Policy, c.Kernel, c.CPI, env[0], env[1])
+		}
+	}
+}
+
+// TestEarlyPinningBeatsLatePinning pins the performance ordering the
+// paper establishes on the kernels where pinning matters: on the mcv
+// kernel EP admits loads earlier than LP, which in turn beats the
+// unpinned scheme.
+func TestEarlyPinningBeatsLatePinning(t *testing.T) {
+	for _, s := range defense.AllSchemes() {
+		comp := cell(t, defense.Policy{Scheme: s, Variant: defense.Comp}, "mcv")
+		lp := cell(t, defense.Policy{Scheme: s, Variant: defense.LP}, "mcv")
+		ep := cell(t, defense.Policy{Scheme: s, Variant: defense.EP}, "mcv")
+		if !(ep.CPI < lp.CPI && lp.CPI < comp.CPI) {
+			t.Errorf("%s x mcv: want CPI(EP) < CPI(LP) < CPI(COMP), got %.3f / %.3f / %.3f",
+				s, ep.CPI, lp.CPI, comp.CPI)
+		}
+	}
+}
+
+// TestGoldenMatrix pins the exact rendered matrix. Unlike the claim
+// tests it also catches a cell changing from one leak class to another.
+func TestGoldenMatrix(t *testing.T) {
+	got := []byte(RenderMatrix(matrix(t)))
+	path := filepath.Join("testdata", "matrix.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("security matrix changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestObserveDeterminism asserts the oracle's foundation: identical runs
+// produce identical observations (state, timing, and key), and the key
+// separates distinct configurations.
+func TestObserveDeterminism(t *testing.T) {
+	pol := defense.Policy{Scheme: defense.Unsafe}
+	a, err := Observe(pol, "spectre_v1", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Observe(pol, "spectre_v1", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(a, b); v.Leaks() {
+		t.Fatalf("identical runs diverged: %s", v)
+	}
+	if a.Key != b.Key {
+		t.Fatal("identical runs produced different keys")
+	}
+	c, err := Observe(pol, "spectre_v1", 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key == c.Key {
+		t.Fatal("different seeds produced the same key")
+	}
+	if len(a.State) == 0 || len(a.Timing) == 0 {
+		t.Fatal("observation is empty")
+	}
+}
+
+// TestVerdictRendering covers the verdict classifier itself.
+func TestVerdictRendering(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{Verdict{}, "blocked"},
+		{Verdict{StateLeak: true}, "LEAK(state)"},
+		{Verdict{TimingLeak: true}, "LEAK(timing)"},
+		{Verdict{StateLeak: true, TimingLeak: true}, "LEAK(state+timing)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+		if c.v.Leaks() != (c.v.StateLeak || c.v.TimingLeak) {
+			t.Errorf("%#v.Leaks() inconsistent", c.v)
+		}
+	}
+	a := Observation{State: "s", Timing: []int64{1, 2}}
+	b := Observation{State: "s", Timing: []int64{1, 3}}
+	if v := Compare(a, b); v.StateLeak || !v.TimingLeak {
+		t.Errorf("Compare timing diff = %s", v)
+	}
+	b = Observation{State: "x", Timing: []int64{1, 2}}
+	if v := Compare(a, b); !v.StateLeak || v.TimingLeak {
+		t.Errorf("Compare state diff = %s", v)
+	}
+	if v := Compare(a, Observation{State: "s", Timing: []int64{1}}); !v.TimingLeak {
+		t.Errorf("Compare length diff = %s", v)
+	}
+}

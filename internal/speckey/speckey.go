@@ -23,11 +23,12 @@ import (
 	"strings"
 
 	"pinnedloads/internal/arch"
+	"pinnedloads/internal/trace"
 )
 
 // Version prefixes every canonical encoding. Bumping it invalidates all
 // previously derived keys (and therefore all cached results).
-const Version = "plspec-v1"
+const Version = "plspec-v2"
 
 // Spec is the canonical description of one simulation run. Scheme and
 // Variant are the paper's names (e.g. "Fence", "EP") rather than enum
@@ -46,6 +47,11 @@ type Spec struct {
 	Measure     int64
 	TraceBuffer int
 	Config      *arch.Config
+	// Attack is the canonical encoding of an adversarial workload
+	// (AttackCanonical) when the run is a security-tier run, "" for
+	// benchmark runs. Keeping it in the spec means a kernel-parameter
+	// change can never alias a cached result.
+	Attack string
 }
 
 // Canonical returns the versioned canonical encoding of the spec. Every
@@ -66,6 +72,7 @@ func (s Spec) Canonical() string {
 	field("measure", strconv.FormatInt(s.Measure, 10))
 	field("trace", strconv.Itoa(s.TraceBuffer))
 	field("config", ConfigCanonical(s.Config))
+	field("attack", s.Attack)
 	return b.String()
 }
 
@@ -110,6 +117,46 @@ func ConfigCanonical(cfg *arch.Config) string {
 			// A new field kind needs an explicit canonical form; refuse to
 			// guess one silently.
 			panic(fmt.Sprintf("speckey: unsupported arch.Config field kind %s (%s)",
+				f.Kind(), t.Field(i).Name))
+		}
+	}
+	return b.String()
+}
+
+// AttackCanonical encodes an adversarial workload (internal/trace.Attack)
+// as name=value pairs in struct-declaration order ("" for nil), the same
+// walk-by-reflection scheme as ConfigCanonical: a new Attack knob joins the
+// run identity automatically, and an unsupported field kind is a loud
+// refusal rather than a silent alias.
+func AttackCanonical(a *trace.Attack) string {
+	if a == nil {
+		return ""
+	}
+	v := reflect.ValueOf(*a)
+	t := v.Type()
+	var b strings.Builder
+	for i := 0; i < t.NumField(); i++ {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(t.Field(i).Name)
+		b.WriteByte('=')
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			fmt.Fprintf(&b, "%d:%s", f.Len(), f.String())
+		case reflect.Int:
+			b.WriteString(strconv.FormatInt(f.Int(), 10))
+		case reflect.Uint64:
+			b.WriteString(strconv.FormatUint(f.Uint(), 10))
+		case reflect.Bool:
+			if f.Bool() {
+				b.WriteByte('t')
+			} else {
+				b.WriteByte('f')
+			}
+		default:
+			panic(fmt.Sprintf("speckey: unsupported trace.Attack field kind %s (%s)",
 				f.Kind(), t.Field(i).Name))
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pinnedloads/internal/arch"
+	"pinnedloads/internal/trace"
 )
 
 func baseSpec() Spec {
@@ -45,6 +46,7 @@ func TestKeyDistinguishesEveryField(t *testing.T) {
 		"Measure":     func(s *Spec) { s.Measure = 8001 },
 		"TraceBuffer": func(s *Spec) { s.TraceBuffer = 1024 },
 		"Config":      func(s *Spec) { s.Config = nil },
+		"Attack":      func(s *Spec) { s.Attack = AttackCanonical(&trace.Attack{AttackKind: "mcv"}) },
 	}
 	for name, mutate := range mutations {
 		s := baseSpec()
@@ -100,8 +102,47 @@ func TestConfigCanonicalCoversEveryField(t *testing.T) {
 // that automatically) and to consider whether Version must be bumped to
 // retire keys derived before the field existed.
 func TestConfigFieldSetPinned(t *testing.T) {
-	if n := reflect.TypeOf(arch.Config{}).NumField(); n != 35 {
-		t.Fatalf("arch.Config has %d fields (expected 35): update this pin and "+
+	if n := reflect.TypeOf(arch.Config{}).NumField(); n != 36 {
+		t.Fatalf("arch.Config has %d fields (expected 36): update this pin and "+
+			"bump speckey.Version if cached results are invalidated", n)
+	}
+}
+
+// TestAttackCanonicalCoversEveryField mutates each trace.Attack field via
+// reflection and checks the canonical attack encoding changes, so a new
+// kernel knob always joins the content-addressed run identity.
+func TestAttackCanonicalCoversEveryField(t *testing.T) {
+	base := trace.Attack{AttackKind: "spectre_v1", Secret: 1, Iters: 16,
+		BurstLen: 24, TargetSlice: 2}
+	baseEnc := AttackCanonical(&base)
+	v := reflect.ValueOf(&base).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		atk := base
+		f := reflect.ValueOf(&atk).Elem().Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(f.String() + "x")
+		case reflect.Int:
+			f.SetInt(f.Int() + 1)
+		case reflect.Uint64:
+			f.SetUint(f.Uint() + 1)
+		case reflect.Bool:
+			f.SetBool(!f.Bool())
+		}
+		if enc := AttackCanonical(&atk); enc == baseEnc {
+			t.Errorf("mutating Attack.%s did not change the encoding",
+				v.Type().Field(i).Name)
+		}
+	}
+	if AttackCanonical(nil) != "" {
+		t.Fatal("nil attack must encode empty")
+	}
+}
+
+// TestAttackFieldSetPinned mirrors the Config pin for trace.Attack.
+func TestAttackFieldSetPinned(t *testing.T) {
+	if n := reflect.TypeOf(trace.Attack{}).NumField(); n != 5 {
+		t.Fatalf("trace.Attack has %d fields (expected 5): update this pin and "+
 			"bump speckey.Version if cached results are invalidated", n)
 	}
 }

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/isa"
+)
+
+// attackKinds lists every adversarial kernel, in matrix order.
+var attackKinds = []string{"spectre_v1", "alias", "mcv", "interference"}
+
+// drainAttack renders a generator's full instruction stream (correct path
+// interleaved with a fixed number of wrong-path fetches after each branch,
+// mimicking the frontend) into one comparable string.
+func drainAttack(g Generator) string {
+	var b strings.Builder
+	for i := 0; i < 20000; i++ {
+		in := g.Next()
+		fmt.Fprintf(&b, "%+v\n", in)
+		if in.Op == isa.Halt {
+			break
+		}
+		if in.Op == isa.Branch && in.Mispredict {
+			// Sample the wrong path the way the frontend would.
+			for j := 0; j < 40; j++ {
+				fmt.Fprintf(&b, "W %+v\n", g.WrongPath())
+			}
+		}
+	}
+	return b.String()
+}
+
+func TestAttackCores(t *testing.T) {
+	for _, kind := range attackKinds {
+		a := &Attack{AttackKind: kind}
+		want := 1
+		if kind == "mcv" || kind == "interference" {
+			want = 2
+		}
+		if got := a.Cores(); got != want {
+			t.Errorf("%s: Cores() = %d, want %d", kind, got, want)
+		}
+		if got := a.Name(); got != "attack_"+kind {
+			t.Errorf("%s: Name() = %q", kind, got)
+		}
+	}
+}
+
+func TestAttackGeneratorDeterminism(t *testing.T) {
+	for _, kind := range attackKinds {
+		a := &Attack{AttackKind: kind, Secret: 1}
+		for core := 0; core < a.Cores(); core++ {
+			s1 := drainAttack(a.Generator(core, 42))
+			s2 := drainAttack(a.Generator(core, 42))
+			if s1 != s2 {
+				t.Errorf("%s core %d: same seed produced different streams", kind, core)
+			}
+			if !strings.Contains(s1, "halt") {
+				t.Errorf("%s core %d: stream never halted", kind, core)
+			}
+		}
+	}
+}
+
+func TestAttackGeneratorSeedsDiffer(t *testing.T) {
+	// The victim (core 0) streams are seed-jittered through the ALU padding;
+	// the attacker cores are deliberately seed-invariant fixed-period loops.
+	for _, kind := range attackKinds {
+		a := &Attack{AttackKind: kind, Secret: 1}
+		s1 := drainAttack(a.Generator(0, 42))
+		s2 := drainAttack(a.Generator(0, 43))
+		if s1 == s2 {
+			t.Errorf("%s: different seeds produced identical streams", kind)
+		}
+	}
+}
+
+func TestAttackSecretSelectsDistinctLines(t *testing.T) {
+	// The two secret values must touch different probe lines (state
+	// kernels) or different burst slices (interference kernel); otherwise
+	// the oracle could never observe a divergence even on Unsafe.
+	for _, kind := range attackKinds {
+		a0 := &Attack{AttackKind: kind, Secret: 0}
+		a1 := &Attack{AttackKind: kind, Secret: 1}
+		s0 := drainAttack(a0.Generator(0, 7))
+		s1 := drainAttack(a1.Generator(0, 7))
+		if s0 == s1 {
+			t.Errorf("%s: secret 0 and 1 produced identical victim streams", kind)
+		}
+	}
+	if (&Attack{AttackKind: "interference", Secret: 0}).burstSlice() ==
+		(&Attack{AttackKind: "interference", Secret: 1}).burstSlice() {
+		t.Fatal("interference: both secrets target the same slice")
+	}
+}
+
+func TestAttackSecretSameSliceForStateKernels(t *testing.T) {
+	// The state kernels' probe lines for secret 0 and 1 must home on the
+	// same LLC slice so the leak is pure cache state, never slice latency.
+	for iter := 0; iter < 8; iter++ {
+		a0 := probeSecret(iter, 0)
+		a1 := probeSecret(iter, 1)
+		if a0 == a1 {
+			t.Fatalf("iter %d: secrets share a probe line", iter)
+		}
+		// Slice interleaving is by line address, 8 slices.
+		if (a0/64)%8 != (a1/64)%8 {
+			t.Fatalf("iter %d: probe lines home on different slices", iter)
+		}
+	}
+}
+
+func TestAttackUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown attack kind did not panic")
+		}
+	}()
+	(&Attack{AttackKind: "bogus"}).Generator(0, 1)
+}
+
+func TestAttackNotInSuites(t *testing.T) {
+	// Attacks are a security tier, not benchmarks: they must stay out of
+	// the performance suites and the ByName registry.
+	for _, kind := range attackKinds {
+		if ByName("attack_"+kind) != nil {
+			t.Errorf("attack_%s leaked into the benchmark registry", kind)
+		}
+	}
+}
