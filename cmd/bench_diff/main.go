@@ -1,0 +1,97 @@
+// Command bench_diff gates the repository's performance trajectory: it
+// parses `go test -bench` output and compares it against the committed
+// BENCH_baseline.json, failing on a >tolerance ns/op regression or any
+// allocs/op regression.
+//
+// Usage:
+//
+//	go test ./internal/core -bench CoreCycle | bench_diff -baseline BENCH_baseline.json
+//	bench_diff -parse bench.out -baseline BENCH_baseline.json -tol 0.10
+//	bench_diff -parse bench.out -baseline BENCH_baseline.json -write  # regenerate baseline
+//	bench_diff ... -summary "$GITHUB_STEP_SUMMARY"                    # markdown job summary
+//	bench_diff ... -inject-ns 0.15        # self-test: prove the ns gate trips
+//	bench_diff ... -inject-allocs 1       # self-test: prove the allocs gate trips
+//
+// Exit status: 0 pass (warnings allowed), 1 gate failure, 2 usage or I/O
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pinnedloads/internal/benchfmt"
+)
+
+func main() {
+	var (
+		parse        = flag.String("parse", "-", "benchmark output to read (- for stdin)")
+		baseline     = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+		tol          = flag.Float64("tol", 0.10, "fractional ns/op regression that fails the gate")
+		write        = flag.Bool("write", false, "write the parsed output as the new baseline and exit")
+		note         = flag.String("note", "", "note stored in the baseline on -write")
+		summary      = flag.String("summary", "", "append a markdown summary table to this file")
+		injectNs     = flag.Float64("inject-ns", 0, "self-test: inflate measured ns/op by this fraction")
+		injectAllocs = flag.Int64("inject-allocs", 0, "self-test: add this many allocs/op to every measurement")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *parse != "-" {
+		f, err := os.Open(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	entries, err := benchfmt.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+	// -count repetitions collapse to min ns/op, max allocs/op per name.
+	entries = benchfmt.Aggregate(entries)
+	for i := range entries {
+		entries[i].NsPerOp *= 1 + *injectNs
+		entries[i].AllocsPerOp += *injectAllocs
+	}
+
+	if *write {
+		if err := benchfmt.WriteBaseline(*baseline, benchfmt.Baseline{Note: *note, Entries: entries}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(entries), *baseline)
+		return
+	}
+
+	base, err := benchfmt.ReadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	report := benchfmt.Compare(base.Entries, entries, *tol)
+	report.Format(os.Stdout, false)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "### Benchmark gate (tolerance %.0f%%)\n\n", 100**tol)
+		report.Format(f, true)
+		f.Close()
+	}
+	if report.Failed() {
+		fmt.Println("benchmark gate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchmark gate: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench_diff:", err)
+	os.Exit(2)
+}

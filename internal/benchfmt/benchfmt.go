@@ -1,0 +1,280 @@
+// Package benchfmt parses `go test -bench` output and diffs it against a
+// committed JSON baseline, enforcing the repository's performance
+// trajectory: ns/op may not regress beyond a tolerance, and allocs/op may
+// not regress at all. cmd/bench_diff is the CLI front; scripts/bench_ci.sh
+// wires it into CI against BENCH_baseline.json.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed reference measurement set.
+type Baseline struct {
+	// Note records where the numbers came from (host, date, benchtime).
+	Note    string  `json:"note,omitempty"`
+	Entries []Entry `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix matches the -N suffix `go test` appends to benchmark
+// names when GOMAXPROCS != 1. Stripping it keeps baselines comparable
+// across hosts with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` text output and returns the benchmark
+// entries in input order. Non-benchmark lines (goos, pkg, PASS, ok) are
+// ignored; a line that starts like a benchmark result but does not parse
+// is an error.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// A benchmark result needs at least "Name iterations value unit".
+		if len(f) < 4 || len(f)%2 != 0 {
+			return nil, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+		}
+		e := Entry{Name: gomaxprocsSuffix.ReplaceAllString(f[0], "")}
+		it, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad iteration count in %q: %v", line, err)
+		}
+		e.Iterations = it
+		for i := 2; i+1 < len(f); i += 2 {
+			val, unit := f[i], f[i+1]
+			switch unit {
+			case "ns/op":
+				e.NsPerOp, err = strconv.ParseFloat(val, 64)
+			case "B/op":
+				e.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				e.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+			default:
+				// Other metrics (MB/s, custom units) are not tracked.
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad %s value in %q: %v", unit, line, err)
+			}
+		}
+		if e.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchfmt: benchmark line %q has no ns/op", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %v", err)
+	}
+	return out, nil
+}
+
+// Aggregate merges repeated measurements of the same benchmark (from
+// `go test -count N`) into one entry per name, keeping the minimum
+// ns/op — the least-noise estimate on a shared host — and the maximum
+// B/op and allocs/op, so a regression in any repetition still trips the
+// allocation gate. Order follows first appearance.
+func Aggregate(entries []Entry) []Entry {
+	idx := make(map[string]int, len(entries))
+	var out []Entry
+	for _, e := range entries {
+		i, ok := idx[e.Name]
+		if !ok {
+			idx[e.Name] = len(out)
+			out = append(out, e)
+			continue
+		}
+		if e.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = e.NsPerOp
+			out[i].Iterations = e.Iterations
+		}
+		if e.BytesPerOp > out[i].BytesPerOp {
+			out[i].BytesPerOp = e.BytesPerOp
+		}
+		if e.AllocsPerOp > out[i].AllocsPerOp {
+			out[i].AllocsPerOp = e.AllocsPerOp
+		}
+	}
+	return out
+}
+
+// ReadBaseline loads a baseline JSON file.
+func ReadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("benchfmt: %v", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("benchfmt: parsing %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes a baseline JSON file with entries sorted by name,
+// so regenerated baselines diff cleanly.
+func WriteBaseline(path string, b Baseline) error {
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].Name < b.Entries[j].Name })
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %v", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Status classifies one benchmark's comparison against the baseline.
+type Status int
+
+// Comparison outcomes, ordered by severity.
+const (
+	Pass Status = iota
+	Warn        // ns/op regression above half the tolerance: noisy ground
+	Fail        // ns/op regression above tolerance, or any allocs/op growth
+)
+
+// String returns the gate verdict name.
+func (s Status) String() string {
+	switch s {
+	case Warn:
+		return "WARN"
+	case Fail:
+		return "FAIL"
+	}
+	return "ok"
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name     string
+	Status   Status
+	Reason   string
+	Base     Entry
+	Current  Entry
+	NsChange float64 // (current-base)/base
+}
+
+// Report is a full comparison: per-benchmark deltas plus set differences.
+type Report struct {
+	Deltas []Delta
+	// Missing lists baseline benchmarks absent from the current run — a
+	// silently deleted benchmark fails the gate.
+	Missing []string
+	// New lists current benchmarks absent from the baseline
+	// (informational; they gain a baseline entry on the next -write).
+	New []string
+}
+
+// Failed reports whether the gate should reject the run.
+func (r Report) Failed() bool {
+	if len(r.Missing) > 0 {
+		return true
+	}
+	for _, d := range r.Deltas {
+		if d.Status == Fail {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare diffs current against baseline entries. tolerance is the
+// fractional ns/op regression that fails (0.10 = +10%); regressions above
+// half the tolerance warn. Any allocs/op increase fails regardless of
+// tolerance: the steady-state cycle loop is allocation-free by
+// construction and must stay that way.
+func Compare(base, current []Entry, tolerance float64) Report {
+	cur := make(map[string]Entry, len(current))
+	for _, e := range current {
+		cur[e.Name] = e
+	}
+	var r Report
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		seen[b.Name] = true
+		c, ok := cur[b.Name]
+		if !ok {
+			r.Missing = append(r.Missing, b.Name)
+			continue
+		}
+		d := Delta{Name: b.Name, Base: b, Current: c}
+		if b.NsPerOp > 0 {
+			d.NsChange = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		switch {
+		case c.AllocsPerOp > b.AllocsPerOp:
+			d.Status = Fail
+			d.Reason = fmt.Sprintf("allocs/op regressed %d -> %d", b.AllocsPerOp, c.AllocsPerOp)
+		case d.NsChange > tolerance:
+			d.Status = Fail
+			d.Reason = fmt.Sprintf("ns/op regressed %+.1f%% (tolerance %.0f%%)", 100*d.NsChange, 100*tolerance)
+		case d.NsChange > tolerance/2:
+			d.Status = Warn
+			d.Reason = fmt.Sprintf("ns/op drifted %+.1f%% (warn above %.0f%%)", 100*d.NsChange, 50*tolerance)
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	for _, e := range current {
+		if !seen[e.Name] {
+			r.New = append(r.New, e.Name)
+		}
+	}
+	sort.Strings(r.Missing)
+	sort.Strings(r.New)
+	return r
+}
+
+// Format renders the report as a text table (markdown=false) or a GitHub
+// job-summary markdown table (markdown=true).
+func (r Report) Format(w io.Writer, markdown bool) {
+	if markdown {
+		fmt.Fprintf(w, "| benchmark | baseline ns/op | current ns/op | Δ | allocs/op | verdict |\n")
+		fmt.Fprintf(w, "|---|---:|---:|---:|---:|---|\n")
+		for _, d := range r.Deltas {
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %+.1f%% | %d → %d | %s |\n",
+				d.Name, d.Base.NsPerOp, d.Current.NsPerOp, 100*d.NsChange,
+				d.Base.AllocsPerOp, d.Current.AllocsPerOp, d.Status)
+		}
+		for _, n := range r.Missing {
+			fmt.Fprintf(w, "| %s | | | | | FAIL (missing from run) |\n", n)
+		}
+		for _, n := range r.New {
+			fmt.Fprintf(w, "| %s | | | | | new (no baseline) |\n", n)
+		}
+		return
+	}
+	for _, d := range r.Deltas {
+		line := fmt.Sprintf("%-40s %10.1f -> %10.1f ns/op (%+.1f%%)  allocs %d -> %d  %s",
+			d.Name, d.Base.NsPerOp, d.Current.NsPerOp, 100*d.NsChange,
+			d.Base.AllocsPerOp, d.Current.AllocsPerOp, d.Status)
+		if d.Reason != "" {
+			line += ": " + d.Reason
+		}
+		fmt.Fprintln(w, line)
+	}
+	for _, n := range r.Missing {
+		fmt.Fprintf(w, "%-40s FAIL: in baseline but missing from this run\n", n)
+	}
+	for _, n := range r.New {
+		fmt.Fprintf(w, "%-40s new benchmark (not in baseline)\n", n)
+	}
+}

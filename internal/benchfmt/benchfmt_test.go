@@ -1,0 +1,209 @@
+package benchfmt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pinnedloads/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCoreCycle/Unsafe   	  244446	      1620 ns/op	       2 B/op	       0 allocs/op
+BenchmarkCoreCycle/Fence    	  442364	       794.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCoreCycleTracerOff-8 	  319692	      1136 ns/op	       2 B/op	       0 allocs/op
+PASS
+ok  	pinnedloads/internal/core	3.932s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Name: "BenchmarkCoreCycle/Unsafe", Iterations: 244446, NsPerOp: 1620, BytesPerOp: 2},
+		{Name: "BenchmarkCoreCycle/Fence", Iterations: 442364, NsPerOp: 794.4},
+		// The -8 GOMAXPROCS suffix must be stripped so baselines are
+		// comparable across hosts.
+		{Name: "BenchmarkCoreCycleTracerOff", Iterations: 319692, NsPerOp: 1136, BytesPerOp: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Parse:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkBroken",                        // no fields
+		"BenchmarkBroken notanumber 12 ns/op",    // bad iteration count
+		"BenchmarkBroken 100 twelve ns/op",       // bad value
+		"BenchmarkBroken 100 5 B/op 0 allocs/op", // no ns/op metric
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok pkg 1.2s\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Parse = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestBaselineGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "baseline.json.golden")
+	entries, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Baseline{Note: "unit-test fixture", Entries: entries}
+	if *update {
+		if err := WriteBaseline(golden, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmp := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(tmp, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("serialized baseline differs from golden:\n%s\nwant:\n%s", got, want)
+	}
+	back, err := ReadBaseline(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WriteBaseline sorts entries by name; compare as sets via re-sort.
+	if len(back.Entries) != len(entries) || back.Note != b.Note {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for _, e := range entries {
+		found := false
+		for _, g := range back.Entries {
+			if reflect.DeepEqual(e, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("entry %+v missing after round trip", e)
+		}
+	}
+}
+
+func TestReadBaselineErrors(t *testing.T) {
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("ReadBaseline accepted a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Error("ReadBaseline accepted malformed JSON")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	in := []Entry{
+		{Name: "BenchmarkA", Iterations: 10, NsPerOp: 120, BytesPerOp: 2, AllocsPerOp: 0},
+		{Name: "BenchmarkB", Iterations: 5, NsPerOp: 50},
+		{Name: "BenchmarkA", Iterations: 12, NsPerOp: 100, BytesPerOp: 1, AllocsPerOp: 1},
+		{Name: "BenchmarkA", Iterations: 9, NsPerOp: 140, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	got := Aggregate(in)
+	want := []Entry{
+		// min ns/op (with its iteration count), max B/op and allocs/op.
+		{Name: "BenchmarkA", Iterations: 12, NsPerOp: 100, BytesPerOp: 2, AllocsPerOp: 1},
+		{Name: "BenchmarkB", Iterations: 5, NsPerOp: 50},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Aggregate:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func entry(name string, ns float64, allocs int64) Entry {
+	return Entry{Name: name, Iterations: 1000, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base := []Entry{entry("BenchmarkX", 1000, 0)}
+	cases := []struct {
+		name   string
+		cur    Entry
+		status Status
+		failed bool
+	}{
+		{"improvement", entry("BenchmarkX", 800, 0), Pass, false},
+		{"flat", entry("BenchmarkX", 1000, 0), Pass, false},
+		{"small drift", entry("BenchmarkX", 1040, 0), Pass, false},
+		{"warn zone", entry("BenchmarkX", 1070, 0), Warn, false},
+		{"ns regression", entry("BenchmarkX", 1120, 0), Fail, true},
+		{"alloc regression", entry("BenchmarkX", 900, 1), Fail, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := Compare(base, []Entry{c.cur}, 0.10)
+			if len(r.Deltas) != 1 {
+				t.Fatalf("got %d deltas", len(r.Deltas))
+			}
+			if r.Deltas[0].Status != c.status {
+				t.Fatalf("status = %v (%s), want %v", r.Deltas[0].Status, r.Deltas[0].Reason, c.status)
+			}
+			if r.Failed() != c.failed {
+				t.Fatalf("Failed() = %v, want %v", r.Failed(), c.failed)
+			}
+		})
+	}
+}
+
+func TestCompareSetDifferences(t *testing.T) {
+	base := []Entry{entry("BenchmarkGone", 100, 0), entry("BenchmarkKept", 100, 0)}
+	cur := []Entry{entry("BenchmarkKept", 100, 0), entry("BenchmarkNew", 100, 0)}
+	r := Compare(base, cur, 0.10)
+	if len(r.Missing) != 1 || r.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("Missing = %v", r.Missing)
+	}
+	if len(r.New) != 1 || r.New[0] != "BenchmarkNew" {
+		t.Fatalf("New = %v", r.New)
+	}
+	// A silently deleted benchmark fails the gate.
+	if !r.Failed() {
+		t.Fatal("missing benchmark did not fail the gate")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	base := []Entry{entry("BenchmarkX", 1000, 0)}
+	cur := []Entry{entry("BenchmarkX", 1200, 0), entry("BenchmarkNew", 10, 0)}
+	r := Compare(base, cur, 0.10)
+	var text, md strings.Builder
+	r.Format(&text, false)
+	r.Format(&md, true)
+	for _, want := range []string{"BenchmarkX", "FAIL", "+20.0%"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown output missing %q:\n%s", want, md.String())
+		}
+	}
+	if !strings.Contains(md.String(), "| benchmark |") {
+		t.Errorf("markdown output lacks header:\n%s", md.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"pinnedloads/internal/arch"
+	"pinnedloads/internal/ringq"
 	"pinnedloads/internal/stats"
 )
 
@@ -39,6 +40,28 @@ type dirLine struct {
 	lru         uint64
 }
 
+// dirCounters holds pre-bound handles for the directory's cycle-path
+// counters (see stats.Counters.Handle).
+type dirCounters struct {
+	throttled     *uint64
+	nacks         *uint64
+	invisibleDRAM *uint64
+	dramFetches   *uint64
+	llcEvictions  *uint64
+	retriedEv     *uint64
+}
+
+func bindDirCounters(ct *stats.Counters) dirCounters {
+	return dirCounters{
+		throttled:     ct.Handle("coh.dir_throttled"),
+		nacks:         ct.Handle("coh.nacks"),
+		invisibleDRAM: ct.Handle("coh.invisible_dram"),
+		dramFetches:   ct.Handle("coh.dram_fetches"),
+		llcEvictions:  ct.Handle("coh.llc_evictions"),
+		retriedEv:     ct.Handle("coh.retried_evictions"),
+	}
+}
+
 // Dir is one directory/LLC slice. It owns the homes of all lines mapping to
 // it and runs the (Pinned Loads-extended) MESI protocol for them.
 type Dir struct {
@@ -46,6 +69,7 @@ type Dir struct {
 	cfg   *arch.Config
 	fab   *fabric
 	count *stats.Counters
+	cnt   dirCounters
 
 	lines []dirLine // sets*ways, way-major within a set
 	stamp uint64
@@ -55,7 +79,7 @@ type Dir struct {
 	// backlog, a FIFO served ahead of fresh arrivals (directory-port
 	// contention).
 	demandUsed int
-	backlog    []Msg
+	backlog    ringq.Q[Msg]
 }
 
 func newDir(idx int, cfg *arch.Config, fab *fabric, count *stats.Counters) *Dir {
@@ -64,6 +88,7 @@ func newDir(idx int, cfg *arch.Config, fab *fabric, count *stats.Counters) *Dir 
 		cfg:   cfg,
 		fab:   fab,
 		count: count,
+		cnt:   bindDirCounters(count),
 		lines: make([]dirLine, cfg.LLCSets*cfg.LLCWays),
 	}
 }
@@ -171,9 +196,8 @@ func (d *Dir) InstallWarm(line uint64) {
 // the contention the interference-attack kernel measures.
 func (d *Dir) newCycle() {
 	d.demandUsed = 0
-	for len(d.backlog) > 0 && d.demandUsed < d.cfg.DirPortsPerCycle {
-		m := d.backlog[0]
-		d.backlog = d.backlog[1:]
+	for d.backlog.Len() > 0 && d.demandUsed < d.cfg.DirPortsPerCycle {
+		m := d.backlog.Pop()
 		d.demandUsed++
 		d.dispatch(m)
 	}
@@ -188,8 +212,8 @@ func (d *Dir) admitDemand(m Msg) bool {
 		return true
 	}
 	if d.demandUsed >= d.cfg.DirPortsPerCycle {
-		d.count.Inc("coh.dir_throttled")
-		d.backlog = append(d.backlog, m)
+		*d.cnt.throttled++
+		d.backlog.Push(m)
 		return false
 	}
 	d.demandUsed++
@@ -236,7 +260,7 @@ func (d *Dir) dispatch(m Msg) {
 }
 
 func (d *Dir) nack(m Msg) {
-	d.count.Inc("coh.nacks")
+	*d.cnt.nacks++
 	d.fab.send(Msg{Kind: Nack, Line: m.Line, Src: d.addr(), Dst: m.Src,
 		Star: m.Kind == GetXStar, Requestor: int(m.Kind)}, 0)
 }
@@ -352,7 +376,7 @@ func (d *Dir) handleGetSInv(m Msg) {
 			Token: m.Token}, d.cfg.LLCHitCycles)
 		return
 	}
-	d.count.Inc("coh.invisible_dram")
+	*d.cnt.invisibleDRAM++
 	d.fab.self(Msg{Kind: MemRespInv, Line: m.Line, Src: d.addr(), Dst: d.addr(),
 		Requestor: m.Src.Idx, Token: m.Token}, d.cfg.DRAMCycles)
 }
@@ -367,7 +391,7 @@ func (d *Dir) miss(m Msg) {
 		d.nack(m)
 		return
 	}
-	d.count.Inc("coh.dram_fetches")
+	*d.cnt.dramFetches++
 	e.valid = true
 	e.addr = m.Line
 	e.sharers = 0
@@ -425,7 +449,7 @@ func (d *Dir) allocWay(line uint64) *dirLine {
 	}
 	if idle != nil {
 		// LLC-only line: evict silently (writeback to memory implied).
-		d.count.Inc("coh.llc_evictions")
+		*d.cnt.llcEvictions++
 		idle.valid = false
 		return idle
 	}
@@ -479,11 +503,11 @@ func (d *Dir) handleRecallResp(m Msg) {
 	if e.deferred {
 		// Eviction denied: refresh replacement state so the line is not
 		// immediately re-selected, and let the requestor retry.
-		d.count.Inc("coh.retried_evictions")
+		*d.cnt.retriedEv++
 		d.touch(e)
 		return
 	}
-	d.count.Inc("coh.llc_evictions")
+	*d.cnt.llcEvictions++
 	e.valid = false
 	e.sharers = 0
 	e.owner = -1

@@ -18,10 +18,19 @@ type fabric struct {
 	ring  [maxDelay][]Msg
 	cycle int64
 	count *stats.Counters
+	// msgCount holds one pre-bound "coh.msg.<kind>" counter handle per
+	// message kind: the per-send increment is a pointer add, where the
+	// previous "coh.msg." + Kind.String() concatenation allocated on
+	// every message — the cycle loop's only steady-state allocation.
+	msgCount [numKinds]*uint64
 }
 
 func newFabric(m *mesh.Mesh, count *stats.Counters) *fabric {
-	return &fabric{mesh: m, count: count}
+	f := &fabric{mesh: m, count: count}
+	for k := kindNone; k < numKinds; k++ {
+		f.msgCount[k] = count.Handle("coh.msg." + k.String())
+	}
+	return f
 }
 
 // meshNode maps a participant to its mesh node. Cores and same-indexed LLC
@@ -36,7 +45,7 @@ func (f *fabric) send(m Msg, extraDelay int) {
 		flits = mesh.DataFlits
 	}
 	lat := f.mesh.Latency(meshNode(m.Src), meshNode(m.Dst), flits)
-	f.count.Inc("coh.msg." + m.Kind.String())
+	*f.msgCount[m.Kind]++
 	f.schedule(m, lat+extraDelay)
 }
 

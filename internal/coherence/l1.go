@@ -77,12 +77,45 @@ type pendingFill struct {
 	mshr  int
 }
 
+// l1Counters holds pre-bound handles for the L1's cycle-path counters
+// (see stats.Counters.Handle).
+type l1Counters struct {
+	hits            *uint64
+	missCoalesced   *uint64
+	misses          *uint64
+	invisibleHits   *uint64
+	invisibleMisses *uint64
+	prefetches      *uint64
+	installDenied   *uint64
+	evictions       *uint64
+	retriedEvL1     *uint64
+	retriedWrites   *uint64
+	defers          *uint64
+}
+
+func bindL1Counters(ct *stats.Counters) l1Counters {
+	return l1Counters{
+		hits:            ct.Handle("l1.hits"),
+		missCoalesced:   ct.Handle("l1.miss_coalesced"),
+		misses:          ct.Handle("l1.misses"),
+		invisibleHits:   ct.Handle("l1.invisible_hits"),
+		invisibleMisses: ct.Handle("l1.invisible_misses"),
+		prefetches:      ct.Handle("l1.prefetches"),
+		installDenied:   ct.Handle("l1.install_denied"),
+		evictions:       ct.Handle("l1.evictions"),
+		retriedEvL1:     ct.Handle("coh.retried_evictions_l1"),
+		retriedWrites:   ct.Handle("coh.retried_writes"),
+		defers:          ct.Handle("coh.defers"),
+	}
+}
+
 // L1 is one core's private L1 data cache controller.
 type L1 struct {
 	id    int
 	cfg   *arch.Config
 	fab   *fabric
 	count *stats.Counters
+	cnt   l1Counters
 	hooks CoreHooks
 
 	// rec receives structured trace events (MSHR allocations, deferred
@@ -96,6 +129,7 @@ type L1 struct {
 	mshr *cache.MSHR
 
 	acq       map[uint64]*storeTxn // outstanding ownership transactions
+	txnFree   []*storeTxn          // recycled storeTxns (bounded by peak concurrency)
 	evictBuf  map[uint64]bool
 	pending   []pendingFill
 	portsUsed int
@@ -108,6 +142,7 @@ func newL1(id int, cfg *arch.Config, fab *fabric, count *stats.Counters) *L1 {
 		cfg:      cfg,
 		fab:      fab,
 		count:    count,
+		cnt:      bindL1Counters(count),
 		rec:      obs.Nop,
 		tags:     cache.NewSetAssoc(cfg.L1Sets, cfg.L1Ways),
 		mshr:     cache.NewMSHR(cfg.L1MSHRs),
@@ -194,21 +229,21 @@ func (l *L1) Load(token int64, line uint64) LoadResult {
 	set := l.cfg.L1Set(line)
 	if e := l.tags.Lookup(set, line); e != nil && e.State.CanRead() {
 		l.tags.Touch(e)
-		l.count.Inc("l1.hits")
+		*l.cnt.hits++
 		l.fab.self(Msg{Kind: SelfDone, Line: line, Src: l.addr(), Dst: l.addr(),
 			Token: token}, l.cfg.L1HitCycles)
 		return LoadHit
 	}
 	if i := l.mshr.Lookup(line); i >= 0 {
 		l.mshr.AddWaiter(i, token)
-		l.count.Inc("l1.miss_coalesced")
+		*l.cnt.missCoalesced++
 		return LoadMiss
 	}
 	if l.mshr.Free() == 0 {
 		return LoadBlocked
 	}
 	l.mshr.Alloc(line, token, false)
-	l.count.Inc("l1.misses")
+	*l.cnt.misses++
 	if l.tracing {
 		l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindMSHRAlloc, Line: line})
 	}
@@ -225,12 +260,12 @@ func (l *L1) LoadInvisible(token int64, line uint64) {
 	set := l.cfg.L1Set(line)
 	if e := l.tags.Lookup(set, line); e != nil && e.State.CanRead() {
 		// Read without Touch: the access must not perturb LRU state.
-		l.count.Inc("l1.invisible_hits")
+		*l.cnt.invisibleHits++
 		l.fab.self(Msg{Kind: SelfDone, Line: line, Src: l.addr(), Dst: l.addr(),
 			Token: token}, l.cfg.L1HitCycles)
 		return
 	}
-	l.count.Inc("l1.invisible_misses")
+	*l.cnt.invisibleMisses++
 	l.fab.send(Msg{Kind: GetSInv, Line: line, Src: l.addr(), Dst: l.home(line),
 		Token: token}, 0)
 }
@@ -256,7 +291,14 @@ func (l *L1) Acquire(line uint64) {
 	if e := l.tags.Lookup(set, line); e != nil && e.State.CanWrite() {
 		return
 	}
-	st := &storeTxn{line: line}
+	var st *storeTxn
+	if n := len(l.txnFree); n > 0 {
+		st = l.txnFree[n-1]
+		l.txnFree = l.txnFree[:n-1]
+		*st = storeTxn{line: line}
+	} else {
+		st = &storeTxn{line: line}
+	}
 	l.acq[line] = st
 	l.tryAcquire(st)
 }
@@ -282,9 +324,12 @@ func (l *L1) tryAcquire(st *storeTxn) {
 	l.fab.send(Msg{Kind: kind, Line: st.line, Src: l.addr(), Dst: l.home(st.line)}, 0)
 }
 
-// ownComplete finishes an ownership transaction.
+// ownComplete finishes an ownership transaction and recycles its storeTxn
+// (nothing holds the pointer once the line leaves acq; later arrivals for
+// the line look it up afresh and see nil).
 func (l *L1) ownComplete(st *storeTxn) {
 	delete(l.acq, st.line)
+	l.txnFree = append(l.txnFree, st)
 	l.fab.self(Msg{Kind: SelfDone, Line: st.line, Src: l.addr(), Dst: l.addr(),
 		Token: -2}, l.cfg.L1HitCycles)
 }
@@ -300,7 +345,7 @@ func (l *L1) prefetchAfterFill(line uint64) {
 		return
 	}
 	l.mshr.Alloc(next, -1, false)
-	l.count.Inc("l1.prefetches")
+	*l.cnt.prefetches++
 	if l.tracing {
 		l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindMSHRAlloc, Line: next, Arg: 1})
 	}
@@ -378,8 +423,8 @@ func (l *L1) install(line uint64, st cache.State, mshrIdx int) {
 	if victim == nil {
 		// Every way holds a pinned line: the eviction is denied and the
 		// install retries until an older pinned load retires.
-		l.count.Inc("l1.install_denied")
-		l.count.Inc("coh.retried_evictions_l1")
+		*l.cnt.installDenied++
+		*l.cnt.retriedEvL1++
 		l.pending = append(l.pending, pendingFill{line: line, state: st, mshr: mshrIdx})
 		l.fab.self(Msg{Kind: SelfRetry, Line: line, Src: l.addr(), Dst: l.addr(),
 			Token: retryInstall}, 4)
@@ -395,7 +440,7 @@ func (l *L1) install(line uint64, st cache.State, mshrIdx int) {
 // evict removes a victim line from the L1, writing back dirty data and
 // performing the conventional TSO eviction squash check at the core.
 func (l *L1) evict(victim *cache.Line) {
-	l.count.Inc("l1.evictions")
+	*l.cnt.evictions++
 	if victim.State == cache.Modified || victim.State == cache.Exclusive {
 		l.evictBuf[victim.Addr] = true
 		l.fab.send(Msg{Kind: PutM, Line: victim.Addr, Src: l.addr(),
@@ -461,7 +506,7 @@ func (l *L1) maybeResolveAcquire(st *storeTxn) {
 	if st.deferred {
 		// At least one sharer has the line pinned: abort at the
 		// directory and retry with GetX* after a backoff (Figure 5a).
-		l.count.Inc("coh.retried_writes")
+		*l.cnt.retriedWrites++
 		l.fab.send(Msg{Kind: Abort, Line: st.line, Src: l.addr(),
 			Dst: l.home(st.line)}, 0)
 		st.inFlight = false
@@ -486,7 +531,7 @@ func (l *L1) maybeResolveAcquire(st *storeTxn) {
 	victim := l.tags.Victim(set, l.hooks.PinnedLine)
 	if victim == nil {
 		// Extremely rare: every way is pinned; retry the install.
-		l.count.Inc("l1.install_denied")
+		*l.cnt.installDenied++
 		l.pending = append(l.pending, pendingFill{line: st.line, state: cache.Modified, mshr: -1})
 		l.fab.self(Msg{Kind: SelfRetry, Line: st.line, Src: l.addr(),
 			Dst: l.addr(), Token: retryInstall}, 4)
@@ -508,7 +553,7 @@ func (l *L1) handleInv(m Msg) {
 		l.hooks.OnInvStar(m.Line)
 	}
 	if l.hooks.PinnedLine(m.Line) {
-		l.count.Inc("coh.defers")
+		*l.cnt.defers++
 		if l.tracing {
 			l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindDeferredInval,
 				Line: m.Line, Arg: int64(m.Requestor)})
@@ -571,7 +616,7 @@ func (l *L1) handleFwdGetX(m Msg) {
 	}
 	req := Addr{Idx: m.Requestor}
 	if l.hooks.PinnedLine(m.Line) {
-		l.count.Inc("coh.defers")
+		*l.cnt.defers++
 		if l.tracing {
 			l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindDeferredInval,
 				Line: m.Line, Arg: int64(m.Requestor)})

@@ -123,6 +123,10 @@ const (
 	SelfRetry
 	// SelfDone completes a local L1 access after its hit latency.
 	SelfDone
+
+	// numKinds sizes dense per-Kind arrays (fabric traffic counters);
+	// keep it last.
+	numKinds
 )
 
 var kindNames = map[Kind]string{

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/obs"
+)
+
+// TestSteadyStateCycleAllocs pins the cycle loop's allocation budget with
+// tracing disabled: after warmup, stepping the machine must not allocate
+// at all, for every defense scheme. This is the property the pointer-handle
+// counters, the SoA state array, the per-set pin counts, and the ring
+// queues exist to provide; any regression here shows up as a nonzero
+// average long before it moves ns/cycle.
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	for _, c := range benchPolicies {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sys := newBenchSystem(t, c.pol, nil)
+			avg := testing.AllocsPerRun(2000, func() { sys.stepCycle() })
+			if avg != 0 {
+				t.Fatalf("steady-state cycle loop allocates %v/cycle with tracing off, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateCycleAllocsTracerOn pins the tracing overhead: with a
+// ring recorder attached (fronted by the shared event batch), the budget
+// is a small constant — batch appends and bulk ring copies, no per-event
+// allocation. The bound is deliberately tight so a reintroduced per-event
+// allocation (one alloc per traced event, several events per cycle) fails
+// immediately.
+func TestSteadyStateCycleAllocsTracerOn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	sys := newBenchSystem(t, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, obs.NewRing(1<<16))
+	defer sys.flushEvents()
+	avg := testing.AllocsPerRun(2000, func() { sys.stepCycle() })
+	if avg > 0.05 {
+		t.Fatalf("steady-state cycle loop allocates %v/cycle with tracing on, want <= 0.05", avg)
+	}
+}

@@ -9,37 +9,82 @@ import (
 	"pinnedloads/internal/trace"
 )
 
-// benchCycleLoop measures the core cycle loop — the simulator's hot path —
-// with the given recorder attached (nil leaves the obs.Nop default). The
-// TracerOff/TracerOn pair quantifies the instrumentation overhead; the
-// disabled path must stay under 5% (EXPERIMENTS.md records baselines).
-func benchCycleLoop(b *testing.B, rec obs.Recorder) {
-	sys, err := New(arch.PaperConfig(1),
-		defense.Policy{Scheme: defense.Fence, Variant: defense.EP},
-		trace.ByName("gcc_r"), 1)
+// benchWarmupCycles fills the pipeline and warms the caches before the
+// timed region so every benchmark measures the steady state, not the cold
+// start. 20k cycles is past the point where per-cycle cost stabilizes for
+// every scheme (the slowest, Fence-Comp, reaches steady state within ~5k).
+const benchWarmupCycles = 20_000
+
+// newBenchSystem builds a 1-core gcc_r system under the policy, attaches
+// the recorder (nil leaves the obs.Nop default), and runs the warmup
+// outside the timed region. All CoreCycle benchmarks share it so their
+// ns/cycle figures are comparable across policies and across PRs.
+func newBenchSystem(tb testing.TB, pol defense.Policy, rec obs.Recorder) *System {
+	tb.Helper()
+	sys, err := New(arch.PaperConfig(1), pol, trace.ByName("gcc_r"), 1)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if rec != nil {
 		sys.SetRecorder(rec)
 	}
-	for i := 0; i < 2000; i++ { // warm the caches and fill the pipeline
-		sys.cycle++
-		sys.mem.Tick(sys.cycle)
-		sys.cores[0].Tick(sys.cycle)
+	for i := 0; i < benchWarmupCycles; i++ {
+		sys.stepCycle()
 	}
+	return sys
+}
+
+// benchCycleLoop measures the core cycle loop — the simulator's hot path.
+// System construction and warmup happen before b.ResetTimer, and
+// b.ReportAllocs is always on, so ns/op is exactly ns/cycle and allocs/op
+// is exactly allocs/cycle: the two numbers BENCH_baseline.json pins and
+// scripts/bench_ci.sh diffs across PRs.
+func benchCycleLoop(b *testing.B, pol defense.Policy, rec obs.Recorder) {
+	sys := newBenchSystem(b, pol, rec)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys.cycle++
-		sys.mem.Tick(sys.cycle)
-		sys.cores[0].Tick(sys.cycle)
+		sys.stepCycle()
+	}
+	b.StopTimer()
+	sys.flushEvents()
+}
+
+// benchPolicies is the measurement spine's policy family: the unsafe
+// baseline, the two conventional-defense extremes (full fence, STT), the
+// invisible-speculation scheme, and Pinned Loads in both Late and Early
+// Pinning variants over Delay-On-Miss.
+var benchPolicies = []struct {
+	name string
+	pol  defense.Policy
+}{
+	{"Unsafe", defense.Policy{Scheme: defense.Unsafe}},
+	{"Fence", defense.Policy{Scheme: defense.Fence, Variant: defense.Comp}},
+	{"DOM-LP", defense.Policy{Scheme: defense.DOM, Variant: defense.LP}},
+	{"DOM-EP", defense.Policy{Scheme: defense.DOM, Variant: defense.EP}},
+	{"STT", defense.Policy{Scheme: defense.STT, Variant: defense.Comp}},
+	{"IS", defense.Policy{Scheme: defense.IS, Variant: defense.Comp}},
+}
+
+// BenchmarkCoreCycle measures steady-state ns/cycle and allocs/cycle for
+// each defense policy with tracing disabled. This family is the perf
+// trajectory: scripts/bench_ci.sh compares it against BENCH_baseline.json
+// and fails on >10% ns/cycle or any allocs/cycle regression.
+func BenchmarkCoreCycle(b *testing.B) {
+	for _, c := range benchPolicies {
+		b.Run(c.name, func(b *testing.B) {
+			benchCycleLoop(b, c.pol, nil)
+		})
 	}
 }
 
+// BenchmarkCoreCycleTracerOff/On quantify the observability overhead on
+// the Fence-EP design point; the disabled path must stay under 5%
+// (EXPERIMENTS.md records baselines).
 func BenchmarkCoreCycleTracerOff(b *testing.B) {
-	benchCycleLoop(b, nil)
+	benchCycleLoop(b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, nil)
 }
 
 func BenchmarkCoreCycleTracerOn(b *testing.B) {
-	benchCycleLoop(b, obs.NewRing(1<<16))
+	benchCycleLoop(b, defense.Policy{Scheme: defense.Fence, Variant: defense.EP}, obs.NewRing(1<<16))
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget tests skip under -race because the detector's own
+// shadow-memory bookkeeping allocates on paths the budget does not cover.
+const raceEnabled = false

@@ -30,6 +30,11 @@ type System struct {
 	// sampler, when set, captures periodic counter snapshots; see
 	// SampleEvery. The nil default costs the cycle loop one branch.
 	sampler *obs.Sampler
+
+	// batch buffers traced events between the cores and the recorder the
+	// caller attached, so hot-path Record calls are plain appends. Events
+	// from all cores share one buffer, preserving global recording order.
+	batch *obs.Batch
 }
 
 // progressWindow bounds how long the simulator tolerates zero retirement
@@ -63,10 +68,24 @@ func New(cfg arch.Config, policy defense.Policy, w trace.Source, seed uint64) (*
 }
 
 // SetRecorder attaches an event recorder to every core (and, through each
-// core, its L1). Call it before Run; the enabled state is cached.
+// core, its L1). Call it before Run; the enabled state is cached. Enabled
+// recorders are fronted by a shared batch buffer that is flushed when each
+// run ends, so events reach r in bulk but in unchanged order.
 func (s *System) SetRecorder(r obs.Recorder) {
+	s.batch = nil
+	if r != nil && r.Enabled() {
+		s.batch = obs.NewBatch(r, 512)
+		r = s.batch
+	}
 	for _, c := range s.cores {
 		c.SetRecorder(r)
+	}
+}
+
+// flushEvents hands any buffered trace events to the attached recorder.
+func (s *System) flushEvents() {
+	if s.batch != nil {
+		s.batch.Flush()
 	}
 }
 
@@ -119,6 +138,7 @@ func (s *System) RunContext(ctx context.Context, warmup, measure int64) (Result,
 	if measure <= 0 {
 		return Result{}, fmt.Errorf("core: measure count must be positive, got %d", measure)
 	}
+	defer s.flushEvents()
 	start, err := s.runUntil(ctx, warmup)
 	if err != nil {
 		return Result{}, err
@@ -150,41 +170,42 @@ func (s *System) runUntil(ctx context.Context, target int64) (int64, error) {
 	for _, c := range s.cores {
 		c.SetTarget(target)
 	}
+	// ctx.Done() is nil for contexts that can never be canceled (such as
+	// context.Background()); hoisting it lets those runs skip the poll
+	// entirely. The retirement-progress backstop shares the same masked
+	// check: progressWindow is vastly larger than the mask, so a deadlock
+	// is still caught within one poll interval of the window expiring.
+	done := ctx.Done()
 	lastProgress := s.cycle
 	lastRetired := s.totalRetired()
 	for {
-		done := true
+		allDone := true
 		for _, c := range s.cores {
 			if c.DoneCycle() < 0 && !c.Halted() {
-				done = false
+				allDone = false
 				break
 			}
 		}
-		if done {
+		if allDone {
 			break
 		}
 		if s.cycle&ctxCheckMask == 0 {
-			select {
-			case <-ctx.Done():
-				return 0, fmt.Errorf("core: run stopped at cycle %d: %w", s.cycle, ctx.Err())
-			default:
+			if done != nil {
+				select {
+				case <-done:
+					return 0, fmt.Errorf("core: run stopped at cycle %d: %w", s.cycle, ctx.Err())
+				default:
+				}
+			}
+			if r := s.totalRetired(); r > lastRetired {
+				lastRetired = r
+				lastProgress = s.cycle
+			} else if s.cycle-lastProgress > progressWindow {
+				return 0, fmt.Errorf("core: no retirement progress for %d cycles at cycle %d (policy %s)",
+					progressWindow, s.cycle, s.policy)
 			}
 		}
-		s.cycle++
-		s.mem.Tick(s.cycle)
-		for _, c := range s.cores {
-			c.Tick(s.cycle)
-		}
-		if s.sampler != nil {
-			s.sampler.MaybeSample(s.cycle, &s.count)
-		}
-		if r := s.totalRetired(); r > lastRetired {
-			lastRetired = r
-			lastProgress = s.cycle
-		} else if s.cycle-lastProgress > progressWindow {
-			return 0, fmt.Errorf("core: no retirement progress for %d cycles at cycle %d (policy %s)",
-				progressWindow, s.cycle, s.policy)
-		}
+		s.stepCycle()
 	}
 	// The interval ends when the slowest core reached the target.
 	end := s.cycle
@@ -194,6 +215,20 @@ func (s *System) runUntil(ctx context.Context, target int64) (int64, error) {
 		}
 	}
 	return end, nil
+}
+
+// stepCycle advances the whole machine by one cycle: memory system first,
+// then every core, then the optional metrics sampler. This is the cycle
+// loop's entire steady-state body, shared by runUntil and the benchmarks.
+func (s *System) stepCycle() {
+	s.cycle++
+	s.mem.Tick(s.cycle)
+	for _, c := range s.cores {
+		c.Tick(s.cycle)
+	}
+	if s.sampler != nil {
+		s.sampler.MaybeSample(s.cycle, &s.count)
+	}
 }
 
 func (s *System) totalRetired() int64 {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// The hot-path equivalence goldens pin the exact CSV bytes of small
+// Figure 7 and Figure 8 sweeps. Unlike the renderer goldens (which feed
+// the renderers fixed synthetic results), these run real simulations, so
+// they fail if *any* change to the cycle loop — an optimization, a data-
+// layout change, a counter refactor — shifts a single simulated cycle.
+// They were generated before the profile-driven optimization pass and
+// must never be regenerated to absorb a behavioral diff; together with
+// internal/sectest's matrix.golden they are the "no drift" contract every
+// perf PR has to satisfy.
+//
+// Each case runs under Workers=1 and Workers=8 and both runs must match
+// the golden byte-for-byte, so the test also covers scheduler-order
+// independence of the optimized path.
+func TestHotPathEquivalenceGoldens(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sizing-dependent goldens; the plain test tier covers equivalence")
+	}
+	cases := []struct {
+		name   string
+		golden string
+		title  string
+		suites []string
+		p      Params
+	}{
+		{
+			name:   "figure7",
+			golden: "figure7_equiv.csv.golden",
+			title:  "Figure 7 (SPEC17)",
+			suites: []string{"SPEC17"},
+			p:      Params{Warmup: 300, Measure: 1500, Seed: 1},
+		},
+		{
+			name:   "figure8",
+			golden: "figure8_equiv.csv.golden",
+			title:  "Figure 8 (SPLASH2+PARSEC)",
+			suites: []string{"SPLASH2", "PARSEC"},
+			p:      Params{Warmup: 150, Measure: 600, Seed: 1},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var ref []byte
+			for _, workers := range []int{1, 8} {
+				r := NewRunner(c.p)
+				r.Workers = workers
+				f, err := RunCPIFigure(r, c.title, c.suites...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := MarshalCSV(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = data
+					checkGolden(t, c.golden, data)
+					continue
+				}
+				if !bytes.Equal(ref, data) {
+					t.Fatalf("%s: Workers=8 CSV differs from Workers=1", c.name)
+				}
+			}
+		})
+	}
+}
+
+// TestHotPathEquivalenceMatrix documents where the security half of the
+// equivalence contract lives: the 17-policy x 4-kernel threat-model matrix
+// is pinned byte-for-byte by internal/sectest (testdata/matrix.golden) and
+// by TestSecurityMatrix's table golden in this package. This test only
+// asserts the golden files exist, so deleting one to dodge a drift failure
+// is itself a failure.
+func TestHotPathEquivalenceMatrix(t *testing.T) {
+	for _, path := range []string{
+		"testdata/securitymatrix_table.golden",
+		"../sectest/testdata/matrix.golden",
+	} {
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("equivalence golden missing: %v", err)
+		}
+	}
+}

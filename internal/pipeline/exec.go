@@ -61,7 +61,7 @@ func (c *Core) execute() {
 			intUsed++
 		}
 		issued++
-		e.state = stExec
+		c.setState(e, stExec)
 		lat := int64(e.inst.Lat)
 		if lat < 1 {
 			lat = 1
@@ -104,7 +104,7 @@ func (c *Core) complete() {
 			// Address generation complete; the load now waits for the
 			// policy to let it access memory (issueLoads).
 			e.addrReady = true
-			e.state = stAddrDone
+			c.setState(e, stAddrDone)
 			c.effectiveAddr(e)
 		case isa.Store:
 			e.addrReady = true
@@ -160,7 +160,7 @@ func (c *Core) effectiveAddr(e *entry) {
 
 // finish marks an entry done and wakes its consumers.
 func (c *Core) finish(e *entry) {
-	e.state = stDone
+	c.setState(e, stDone)
 	for _, w := range e.wake {
 		we := c.deref(w)
 		if we == nil {
@@ -168,7 +168,7 @@ func (c *Core) finish(e *entry) {
 		}
 		we.depsLeft--
 		if we.depsLeft == 0 && we.state == stWaiting {
-			we.state = stReady
+			c.setState(we, stReady)
 			c.readyQ = append(c.readyQ, w)
 		}
 	}
@@ -183,7 +183,7 @@ func (c *Core) loadPerformed(e *entry) {
 	}
 	e.performed = true
 	c.lqPerformed = append(c.lqPerformed, e.seq)
-	c.count.Inc("loads.performed")
+	*c.cnt.loadsPerformed++
 	c.finish(e)
 }
 
@@ -211,14 +211,17 @@ func (c *Core) aliasCheck(st *entry) {
 
 // tryForward satisfies a load from an older in-flight store (store queue or
 // write buffer) with the same address, bypassing the memory system. It
-// reports whether forwarding succeeded.
+// reports whether forwarding succeeded. storeSeqs holds exactly the
+// unretired stores in program order, so walking it backward visits the
+// same stores, youngest first, as a full ROB scan from e.seq-1 down to
+// head — without touching the non-store entries in between.
 func (c *Core) tryForward(e *entry) bool {
-	// Search older unretired stores, youngest first.
-	for s := e.seq - 1; s >= c.head; s-- {
-		se := c.at(s)
-		if !se.isStore() {
+	for i := len(c.storeSeqs) - 1; i >= 0; i-- {
+		s := c.storeSeqs[i]
+		if s >= e.seq {
 			continue
 		}
+		se := c.at(s)
 		if !se.addrReady {
 			// Unknown older store address: conventional cores speculate
 			// past it (the alias check recovers if it conflicts).
@@ -226,16 +229,16 @@ func (c *Core) tryForward(e *entry) bool {
 		}
 		if se.inst.Addr == e.inst.Addr {
 			e.forwarded = true
-			c.count.Inc("loads.forwarded")
+			*c.cnt.loadsForwarded++
 			c.loadPerformed(e)
 			return true
 		}
 	}
 	// Search the write buffer (TSO lets a core read its own buffer).
-	for _, a := range c.wb {
-		if a == e.inst.Addr {
+	for i := 0; i < c.wb.Len(); i++ {
+		if c.wb.At(i) == e.inst.Addr {
 			e.forwarded = true
-			c.count.Inc("loads.forwarded_wb")
+			*c.cnt.loadsForwardedWB++
 			c.loadPerformed(e)
 			return true
 		}

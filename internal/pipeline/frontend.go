@@ -39,7 +39,7 @@ func (c *Core) dispatch() {
 	}
 	for n := 0; n < c.cfg.IssueWidth; n++ {
 		if c.tail-c.head >= int64(len(c.entries)) {
-			c.count.Inc("stall.rob_full")
+			*c.cnt.stallROBFull++
 			return
 		}
 		var in isa.Inst
@@ -57,12 +57,12 @@ func (c *Core) dispatch() {
 		switch in.Op {
 		case isa.Load, isa.Lock:
 			if c.loadsInROB >= c.cfg.LQEntries {
-				c.count.Inc("stall.lq_full")
+				*c.cnt.stallLQFull++
 				return
 			}
 		case isa.Store:
 			if c.storesInROB >= c.cfg.SQEntries {
-				c.count.Inc("stall.sq_full")
+				*c.cnt.stallSQFull++
 				return
 			}
 		}
@@ -98,7 +98,8 @@ func (c *Core) insert(in isa.Inst, winIdx int64) {
 		yroot:  -1,
 		wake:   e.wake[:0], // reuse the slice backing across generations
 	}
-	c.count.Inc("dispatched")
+	c.setState(e, stWaiting)
+	*c.cnt.dispatched++
 
 	switch in.Op {
 	case isa.Branch:
@@ -151,14 +152,14 @@ func (c *Core) insert(in isa.Inst, winIdx int64) {
 	switch in.Op {
 	case isa.Nop, isa.Fence, isa.Barrier:
 		// No execution needed; retirement logic provides semantics.
-		e.state = stDone
+		c.setState(e, stDone)
 	case isa.Lock:
 		// The RMW is performed at the head of the ROB (see retire).
-		e.state = stDone
+		c.setState(e, stDone)
 		e.addrReady = true
 	default:
 		if e.depsLeft == 0 {
-			e.state = stReady
+			c.setState(e, stReady)
 			c.readyQ = append(c.readyQ, ref{seq: seq, gen: e.gen})
 		}
 	}
@@ -173,8 +174,8 @@ func (c *Core) squashFrom(from int64, cause string) {
 	if from < c.head {
 		c.fail("squash before head (%d < %d)", from, c.head)
 	}
-	c.count.Inc("squash." + cause)
-	c.count.Add("squashed_insts", uint64(c.tail-from))
+	*c.squashCounter(cause)++
+	*c.cnt.squashedInsts += uint64(c.tail - from)
 	if c.tracing {
 		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindSquash,
 			Seq: from, Arg: c.tail - from, Cause: obs.CauseFromString(cause)})
@@ -201,7 +202,7 @@ func (c *Core) squashFrom(from int64, cause string) {
 		if !e.wrong && refetch < 0 {
 			refetch = e.winIdx
 		}
-		e.state = stWaiting // neutralize stale calendar/ready references
+		c.setState(e, stWaiting) // neutralize stale calendar/ready references
 		e.token = 0
 	}
 	// Trim bookkeeping lists of squashed seqs.

@@ -7,16 +7,15 @@ import (
 )
 
 // issueLoads sends eligible loads to the memory system, applying the active
-// defense scheme's gating rule.
+// defense scheme's gating rule. The stateOf pre-check reads the dense
+// states array so loads that cannot issue this cycle (the common case)
+// are rejected without pulling their ROB entry into cache.
 func (c *Core) issueLoads() {
 	for _, seq := range c.loadSeqs {
-		if !c.valid(seq) {
+		if c.stateOf(seq) != stAddrDone || !c.valid(seq) {
 			continue
 		}
 		e := c.at(seq)
-		if e.state != stAddrDone {
-			continue
-		}
 		c.effectiveAddr(e)
 		mode := c.mayIssueLoad(e)
 		if mode == issueDenied {
@@ -26,7 +25,7 @@ func (c *Core) issueLoads() {
 			continue
 		}
 		if !c.l1.AcquirePort() {
-			c.count.Inc("stall.l1_ports")
+			*c.cnt.stallL1Ports++
 			return
 		}
 		token := c.newToken(seq)
@@ -35,8 +34,8 @@ func (c *Core) issueLoads() {
 			// any cache or directory footprint; an exposure access
 			// follows once the load reaches its VP.
 			e.invisible = true
-			e.state = stIssued
-			c.count.Inc("loads.issued_invisible")
+			c.setState(e, stIssued)
+			*c.cnt.loadsIssuedInvisible++
 			c.l1.LoadInvisible(token, e.line)
 			continue
 		}
@@ -44,10 +43,10 @@ func (c *Core) issueLoads() {
 		case coherence.LoadBlocked:
 			delete(c.tokenSeq, token)
 			e.token = 0
-			c.count.Inc("stall.mshr_full")
+			*c.cnt.stallMSHRFull++
 		default:
-			e.state = stIssued
-			c.count.Inc("loads.issued")
+			c.setState(e, stIssued)
+			*c.cnt.loadsIssued++
 			if e.pinned && !e.performed {
 				// Early Pinning pinned the load before issue; carry the
 				// Pinned bit into the MSHR (paper Section 6.1.2).
@@ -100,21 +99,21 @@ func (c *Core) mayIssueLoad(e *entry) issueMode {
 	}
 	switch c.policy.Scheme {
 	case defense.Fence:
-		c.count.Inc("stall.fence")
+		*c.cnt.stallFence++
 		return issueDenied
 	case defense.DOM:
 		if c.l1.Probe(e.line) {
-			c.count.Inc("loads.dom_hit")
+			*c.cnt.loadsDOMHit++
 			return issueNormal
 		}
-		c.count.Inc("stall.dom_miss")
+		*c.cnt.stallDOMMiss++
 		return issueDenied
 	case defense.STT:
 		if !c.tainted(e) {
-			c.count.Inc("loads.stt_untainted")
+			*c.cnt.loadsSTTUntainted++
 			return issueNormal
 		}
-		c.count.Inc("stall.stt_tainted")
+		*c.cnt.stallSTTTainted++
 		return issueDenied
 	case defense.IS:
 		// Invisible speculation: pre-VP loads may always access memory,
@@ -149,7 +148,7 @@ func (c *Core) exposeLoads() {
 			return
 		}
 		token := c.newToken(seq)
-		c.count.Inc("loads.exposed")
+		*c.cnt.loadsExposed++
 		if c.l1.Load(token, e.line) == coherence.LoadBlocked {
 			delete(c.tokenSeq, token)
 			e.token = 0
@@ -166,8 +165,8 @@ const rfoLookahead = 6
 // entries behind the head — the standard store-buffer implementation.
 func (c *Core) drainWriteBuffer() {
 	merged := 0
-	for len(c.wb) > 0 && merged < 2 {
-		line := arch.LineAddr(c.wb[0])
+	for c.wb.Len() > 0 && merged < 2 {
+		line := arch.LineAddr(c.wb.Front())
 		if !c.l1.HasWritable(line) {
 			c.l1.Acquire(line)
 			break
@@ -176,12 +175,12 @@ func (c *Core) drainWriteBuffer() {
 			return
 		}
 		c.l1.MergeStore(line)
-		c.wb = c.wb[1:]
+		c.wb.Pop()
 		merged++
-		c.count.Inc("stores.merged")
+		*c.cnt.storesMerged++
 	}
-	for i := 0; i < len(c.wb) && i < rfoLookahead; i++ {
-		c.l1.Acquire(arch.LineAddr(c.wb[i]))
+	for i := 0; i < c.wb.Len() && i < rfoLookahead; i++ {
+		c.l1.Acquire(arch.LineAddr(c.wb.At(i)))
 	}
 }
 
@@ -224,7 +223,7 @@ func (c *Core) OnInvStar(line uint64) {
 		return
 	}
 	if !c.cpt.Insert(line) {
-		c.count.Inc("cpt.overflow")
+		*c.cnt.cptOverflow++
 	}
 }
 
@@ -260,7 +259,7 @@ func (c *Core) LoadDone(token int64) {
 			// this is exactly how Pinned Loads removes the double
 			// access from invisible-execution schemes.
 			e.exposeDone = true
-			c.count.Inc("loads.expose_skipped")
+			*c.cnt.loadsExposeSkipped++
 		}
 		return
 	}
@@ -272,8 +271,8 @@ func (c *Core) LoadDone(token int64) {
 
 // LineOwned reports that an ownership transaction completed; the write
 // buffer polls HasWritable each cycle, so this only feeds statistics.
-func (c *Core) LineOwned(uint64) { c.count.Inc("stores.owned") }
+func (c *Core) LineOwned(uint64) { *c.cnt.storesOwned++ }
 
 // StoreDeferred records that the store's invalidation was deferred by a
 // pinned line elsewhere; the L1 retries automatically.
-func (c *Core) StoreDeferred(uint64) { c.count.Inc("stores.deferred") }
+func (c *Core) StoreDeferred(uint64) { *c.cnt.storesDeferred++ }

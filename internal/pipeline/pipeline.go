@@ -18,6 +18,7 @@ import (
 	"pinnedloads/internal/isa"
 	"pinnedloads/internal/obs"
 	"pinnedloads/internal/pin"
+	"pinnedloads/internal/ringq"
 	"pinnedloads/internal/stats"
 	"pinnedloads/internal/trace"
 )
@@ -126,6 +127,7 @@ type Core struct {
 	gen    trace.Generator
 	bar    *BarrierSync
 	count  *stats.Counters
+	cnt    coreCounters // pre-bound handles for cycle-path counters
 
 	// rec receives structured trace events; tracing caches rec.Enabled()
 	// so disabled runs pay only a branch on a local bool per event site.
@@ -138,6 +140,11 @@ type Core struct {
 	entries []entry
 	head    int64
 	tail    int64
+	// states mirrors entries[i].state in a dense parallel array so the
+	// per-cycle LQ scans (issueLoads, exposeLoads) read one byte per
+	// entry instead of pulling each ~200-byte entry's cache line in just
+	// to reject it. All state transitions go through setState.
+	states []uint8
 
 	// Occupancy.
 	loadsInROB  int
@@ -166,7 +173,7 @@ type Core struct {
 	barriersHit int64
 
 	// Write buffer (retired stores, FIFO of byte addresses).
-	wb []uint64
+	wb ringq.Q[uint64]
 
 	// Memory tokens: load issue token -> seq.
 	tokenSeq  map[int64]int64
@@ -177,16 +184,23 @@ type Core struct {
 	lqPerformed []int64
 
 	// Pinned Loads state.
-	pinnedRef     map[uint64]int // line -> pinned-load refcount
-	pinFrontier   int64          // next seq to consider for pinning
+	pinnedRef     map[uint64]int  // line -> pinned-load refcount
+	pinFrontier   int64           // next seq to consider for pinning
 	l1CST         *pin.CST
 	dirCST        *pin.CST
 	cpt           *pin.CPT
-	lqTagNext     uint64   // monotonic LQ ID source
-	pendingUnpins []uint64 // queued L1-tag Pinned-bit clears (Section 6.1.2)
+	lqTagNext     uint64          // monotonic LQ ID source
+	pendingUnpins ringq.Q[uint64] // queued L1-tag Pinned-bit clears (Section 6.1.2)
 	lqTagMask     uint32
 	tagToSeq      map[uint32]int64
 	wrapStall     bool // LQ ID wrapped: stop pinning until pinned drain
+	// pinsPerL1Set / pinsPerDirSet count distinct pinned lines per L1 set
+	// and per directory (slice, set), indexed by l1Key/dirKey and grown on
+	// demand. Maintained incrementally at first-pin/last-unpin, they make
+	// the per-admission room checks O(1) instead of an O(pinned-lines)
+	// sweep of pinnedRef.
+	pinsPerL1Set  []int32
+	pinsPerDirSet []int32
 
 	// VP frontier: all entries with seq < vpFrontier satisfy the active
 	// condition mask's prefix requirements. pinVPFrontier is the same
@@ -217,8 +231,10 @@ func NewCore(id int, cfg *arch.Config, policy defense.Policy, l1 *coherence.L1,
 		gen:            gen,
 		bar:            bar,
 		count:          count,
+		cnt:            bindCoreCounters(count),
 		rec:            obs.Nop,
 		entries:        make([]entry, cfg.ROBEntries),
+		states:         make([]uint8, cfg.ROBEntries),
 		tokenSeq:       make(map[int64]int64),
 		pinnedRef:      make(map[uint64]int),
 		tagToSeq:       make(map[uint32]int64),
@@ -250,6 +266,19 @@ func NewCore(id int, cfg *arch.Config, policy defense.Policy, l1 *coherence.L1,
 // at returns the ROB entry for seq (which must satisfy head <= seq < tail).
 func (c *Core) at(seq int64) *entry {
 	return &c.entries[seq%int64(len(c.entries))]
+}
+
+// setState transitions e's state machine, keeping the dense states array
+// (see the Core field) in sync.
+func (c *Core) setState(e *entry, st uint8) {
+	e.state = st
+	c.states[e.seq%int64(len(c.entries))] = st
+}
+
+// stateOf reads seq's state from the dense array (for scan loops that
+// reject most entries without touching the ROB ring).
+func (c *Core) stateOf(seq int64) uint8 {
+	return c.states[seq%int64(len(c.entries))]
 }
 
 // valid reports whether seq names a live ROB entry.

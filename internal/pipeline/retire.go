@@ -20,19 +20,19 @@ func (c *Core) retire() {
 				// Precise exception at the head: flush younger work,
 				// charge the handler penalty, and continue past the
 				// faulting instruction as if the OS repaired it.
-				c.count.Inc("squash.fault_taken")
+				*c.cnt.squashFaultTkn++
 				c.squashFrom(c.head+1, "fault")
 				c.stallUntil = c.now + faultFlushPenalty
 				break
 			}
 			if !e.performed {
-				c.count.Inc("stall.retire_load")
+				*c.cnt.stallRetireLoad++
 				return
 			}
 			if e.invisible && !e.exposeDone {
 				// An invisibly performed load must complete its exposure
 				// access before it may retire (InvisiSpec semantics).
-				c.count.Inc("stall.retire_expose")
+				*c.cnt.stallRetireExpose++
 				return
 			}
 		case isa.Store:
@@ -40,26 +40,26 @@ func (c *Core) retire() {
 				return
 			}
 			if e.inst.Fault {
-				c.count.Inc("squash.fault_taken")
+				*c.cnt.squashFaultTkn++
 				c.squashFrom(c.head+1, "fault")
 				c.stallUntil = c.now + faultFlushPenalty
 				break
 			}
-			if len(c.wb) >= c.cfg.WriteBufferEntries {
-				c.count.Inc("stall.wb_full")
+			if c.wb.Len() >= c.cfg.WriteBufferEntries {
+				*c.cnt.stallWBFull++
 				return
 			}
-			c.wb = append(c.wb, e.inst.Addr)
+			c.wb.Push(e.inst.Addr)
 		case isa.Fence:
-			if len(c.wb) > 0 {
+			if c.wb.Len() > 0 {
 				return
 			}
 		case isa.Barrier:
-			if len(c.wb) > 0 {
+			if c.wb.Len() > 0 {
 				return
 			}
 			if c.bar != nil && !c.bar.arrive(c.id, c.barriersHit+1) {
-				c.count.Inc("stall.barrier")
+				*c.cnt.stallBarrier++
 				return
 			}
 			c.barriersHit++
@@ -68,13 +68,13 @@ func (c *Core) retire() {
 			// the write buffer drains, holding the ROB until the line
 			// is owned and the RMW merges.
 			if !e.performed {
-				if len(c.wb) > 0 {
+				if c.wb.Len() > 0 {
 					return
 				}
 				e.lockIssued = true
 				if !c.l1.MergeStore(e.line) {
 					c.l1.Acquire(e.line)
-					c.count.Inc("stall.lock")
+					*c.cnt.stallLock++
 					return
 				}
 				e.performed = true
@@ -121,7 +121,7 @@ func (c *Core) retire() {
 		}
 		c.head++
 		c.retired++
-		c.count.Inc("retired")
+		*c.cnt.retired++
 	}
 	if retiredIdx >= 0 {
 		c.pruneWindow(retiredIdx)

@@ -166,7 +166,7 @@ func (c *Core) pinGovernor() {
 		c.wrapStall = false
 	}
 	if !c.cpt.CanPin() {
-		c.count.Inc("pin.stall_cpt_full")
+		*c.cnt.pinStallCPTFull++
 		return
 	}
 	if c.pinFrontier < c.head {
@@ -201,11 +201,11 @@ func (c *Core) pinGovernor() {
 		// Write-buffer deadlock check (paper Section 5.1.2): every
 		// yet-to-complete older store must fit in the write buffer.
 		if c.olderUndrainedStores(e.seq) > c.cfg.WriteBufferEntries {
-			c.count.Inc("pin.stall_wb")
+			*c.cnt.pinStallWB++
 			return
 		}
 		if c.cpt.Contains(e.line) {
-			c.count.Inc("pin.stall_cpt")
+			*c.cnt.pinStallCPT++
 			return
 		}
 		if c.policy.Variant == defense.LP {
@@ -216,11 +216,11 @@ func (c *Core) pinGovernor() {
 				return
 			}
 			if !c.l1SetRoom(e.line) {
-				c.count.Inc("pin.stall_l1set")
+				*c.cnt.pinStallL1Set++
 				return
 			}
 			if !c.mayRecordPin(e.line) {
-				c.count.Inc("pin.stall_record")
+				*c.cnt.pinStallRecord++
 				return
 			}
 			c.commitPin(e)
@@ -228,11 +228,11 @@ func (c *Core) pinGovernor() {
 		}
 		// Early Pinning: consult the Cache Shadow Tables.
 		if !c.cstAdmit(e) {
-			c.count.Inc("pin.stall_cst")
+			*c.cnt.pinStallCST++
 			return
 		}
 		if !c.mayRecordPin(e.line) {
-			c.count.Inc("pin.stall_record")
+			*c.cnt.pinStallRecord++
 			return
 		}
 		c.commitPin(e)
@@ -244,12 +244,15 @@ func (c *Core) pinGovernor() {
 
 // olderUndrainedStores counts stores older than seq that have not yet
 // merged into the cache: write-buffer occupants plus in-ROB stores.
+// storeSeqs is sorted in program order, so the scan stops at the first
+// younger store.
 func (c *Core) olderUndrainedStores(seq int64) int {
-	n := len(c.wb)
+	n := c.wb.Len()
 	for _, s := range c.storeSeqs {
-		if s < seq {
-			n++
+		if s >= seq {
+			break
 		}
+		n++
 	}
 	return n
 }
@@ -297,40 +300,59 @@ func (c *Core) l1SetRoom(line uint64) bool {
 	if c.pinnedRef[line] > 0 {
 		return true // the line is already pinned: no new way needed
 	}
-	set := c.cfg.L1Set(line)
-	n := 0
-	for l := range c.pinnedRef {
-		if c.cfg.L1Set(l) == set {
-			n++
-		}
-	}
-	return n < c.cfg.L1Ways-1
+	return int(c.setPins(c.l1Key(line), &c.pinsPerL1Set)) < c.cfg.L1Ways-1
 }
 
 // preciseRoom reports whether pinning a new line would keep the per-set
 // pinned-line count within the structural limit: the L1 associativity
 // (minus the reserved way, see l1SetRoom), or the per-core directory/LLC
-// reservation Wd (paper Section 5.1.4).
+// reservation Wd (paper Section 5.1.4). The incremental pinsPer*Set
+// arrays count distinct pinned lines per set; when line itself is pinned
+// it contributes one, which the original pinnedRef sweep excluded.
 func (c *Core) preciseRoom(line uint64, l1 bool) bool {
 	var limit, n int
 	if l1 {
 		limit = c.cfg.L1Ways - 1
-		set := c.cfg.L1Set(line)
-		for l := range c.pinnedRef {
-			if c.cfg.L1Set(l) == set && l != line {
-				n++
-			}
-		}
+		n = int(c.setPins(c.l1Key(line), &c.pinsPerL1Set))
 	} else {
 		limit = c.cfg.Wd
-		slice, set := c.cfg.LLCSlice(line), c.cfg.LLCSet(line)
-		for l := range c.pinnedRef {
-			if l != line && c.cfg.LLCSlice(l) == slice && c.cfg.LLCSet(l) == set {
-				n++
-			}
-		}
+		n = int(c.setPins(c.dirKey(line), &c.pinsPerDirSet))
+	}
+	if c.pinnedRef[line] > 0 {
+		n--
 	}
 	return n < limit
+}
+
+// setPins reads a per-set pinned-line count, treating indexes beyond the
+// grown-on-demand array as zero.
+func (c *Core) setPins(key uint32, arr *[]int32) int32 {
+	if int(key) >= len(*arr) {
+		return 0
+	}
+	return (*arr)[key]
+}
+
+// bumpSetPins adjusts both per-set counts for a line gaining its first
+// pin (d=+1) or losing its last (d=-1).
+func (c *Core) bumpSetPins(line uint64, d int32) {
+	for _, ka := range [2]struct {
+		key uint32
+		arr *[]int32
+	}{
+		{c.l1Key(line), &c.pinsPerL1Set},
+		{c.dirKey(line), &c.pinsPerDirSet},
+	} {
+		if int(ka.key) >= len(*ka.arr) {
+			grown := make([]int32, ka.key+1)
+			copy(grown, *ka.arr)
+			*ka.arr = grown
+		}
+		(*ka.arr)[ka.key] += d
+		if (*ka.arr)[ka.key] < 0 {
+			c.fail("negative per-set pin count for line %#x", line)
+		}
+	}
 }
 
 // l1Key and dirKey produce the CST entry hash keys.
@@ -375,14 +397,14 @@ func (c *Core) recordUnpin(line uint64) {
 	if !c.cfg.PinRecordL1Tags {
 		return
 	}
-	c.pendingUnpins = append(c.pendingUnpins, line)
+	c.pendingUnpins.Push(line)
 }
 
 // drainUnpins retires queued Pinned-bit clears, one port each.
 func (c *Core) drainUnpins() {
-	for len(c.pendingUnpins) > 0 && c.l1.AcquirePort() {
-		c.pendingUnpins = c.pendingUnpins[1:]
-		c.count.Inc("pin.l1tag_unpins")
+	for c.pendingUnpins.Len() > 0 && c.l1.AcquirePort() {
+		c.pendingUnpins.Pop()
+		*c.cnt.pinL1TagUnpins++
 	}
 }
 
@@ -395,12 +417,15 @@ func (c *Core) commitPin(e *entry) {
 		// The extended tag space wrapped: stop pinning until all pinned
 		// loads retire (rare with 24-bit tags).
 		c.wrapStall = true
-		c.count.Inc("pin.wraparound")
+		*c.cnt.pinWraparound++
 	}
 	c.tagToSeq[e.lqTag] = e.seq
+	if c.pinnedRef[e.line] == 0 {
+		c.bumpSetPins(e.line, +1)
+	}
 	c.pinnedRef[e.line]++
 	c.pinFrontier = e.seq + 1
-	c.count.Inc("pin.pinned")
+	*c.cnt.pinPinned++
 	if c.tracing {
 		c.rec.Record(obs.Event{Cycle: c.now, Core: int16(c.id), Kind: obs.KindPin,
 			Seq: e.seq, Line: e.line})
@@ -415,6 +440,7 @@ func (c *Core) unpin(e *entry) {
 	} else {
 		last = 1
 		delete(c.pinnedRef, e.line)
+		c.bumpSetPins(e.line, -1)
 		// Last pinned load of the line: with the L1-tag record, the
 		// Pinned bit in the cache must be cleared (the retiring load
 		// carries the YPL bit, paper Section 6.1.2).

@@ -1,0 +1,130 @@
+package ringq
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Q[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
+// TestWrapAround interleaves pushes and pops so the head crosses the ring
+// boundary many times at every capacity.
+func TestWrapAround(t *testing.T) {
+	var q Q[int]
+	next, expect := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("drain: Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if next != expect {
+		t.Fatalf("drained %d values, pushed %d", expect, next)
+	}
+}
+
+func TestFrontAndAt(t *testing.T) {
+	var q Q[string]
+	q.Push("a")
+	q.Push("b")
+	q.Push("c")
+	if q.Front() != "a" {
+		t.Fatalf("Front = %q, want a", q.Front())
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got := q.At(i); got != want {
+			t.Fatalf("At(%d) = %q, want %q", i, got, want)
+		}
+	}
+	q.Pop()
+	if q.Front() != "b" || q.At(1) != "c" {
+		t.Fatalf("after Pop: Front=%q At(1)=%q", q.Front(), q.At(1))
+	}
+}
+
+// TestGrowPreservesWrappedContents forces a grow while the contents wrap
+// the ring boundary.
+func TestGrowPreservesWrappedContents(t *testing.T) {
+	var q Q[int]
+	for i := 0; i < 8; i++ { // fill the initial capacity exactly
+		q.Push(i)
+	}
+	for i := 0; i < 5; i++ { // advance head past the midpoint
+		q.Pop()
+	}
+	for i := 8; i < 16; i++ { // wrap, then force a grow
+		q.Push(i)
+	}
+	for want := 5; want < 16; want++ {
+		if got := q.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on empty queue did not panic", name)
+			}
+		}()
+		f()
+	}
+	var q Q[int]
+	expectPanic("Pop", func() { q.Pop() })
+	expectPanic("Front", func() { q.Front() })
+	expectPanic("At", func() { q.At(0) })
+	q.Push(1)
+	expectPanic("At(1)", func() { q.At(1) })
+	expectPanic("At(-1)", func() { q.At(-1) })
+}
+
+// TestSteadyStateNoGrowth checks the ring stops allocating once it has
+// reached its high-water mark — the property the cycle loop relies on.
+func TestSteadyStateNoGrowth(t *testing.T) {
+	var q Q[uint64]
+	for i := 0; i < 16; i++ {
+		q.Push(uint64(i))
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			q.Push(uint64(i))
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs = %v, want 0", allocs)
+	}
+}
