@@ -27,6 +27,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,9 +39,17 @@ import (
 	"pinnedloads/internal/service/client"
 )
 
+// Exit codes: 1 for generic failures, 3 when a waited-on job was lost to
+// a backend restart (resubmit to continue — scripts branch on this).
+const exitJobLost = 3
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "plctl: %v\n", err)
+		var lost *client.JobLostError
+		if errors.As(err, &lost) {
+			os.Exit(exitJobLost)
+		}
 		os.Exit(1)
 	}
 }

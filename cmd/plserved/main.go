@@ -45,14 +45,24 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "persist results to this directory (survives restarts)")
 		cacheEntries = flag.Int("cache-entries", 1024, "in-memory result cache bound (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "max time to finish queued jobs on shutdown")
+		ckptDir      = flag.String("checkpoint-dir", "", "persist per-job checkpoints to this directory; resubmitted jobs resume from them after a crash")
+		ckptEvery    = flag.Int64("checkpoint-every", 0, "cycles between persisted checkpoints (0 = default 500k)")
 	)
 	flag.Parse()
 
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "plserved: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*addr, *addrFile, service.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		RetryAfter: *retryAfter,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		RetryAfter:      *retryAfter,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	}, *cacheDir, *cacheEntries, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "plserved: %v\n", err)
 		os.Exit(1)

@@ -6,6 +6,8 @@
 //	plsim -bench fft -scheme stt -variant comp -measure 50000 -counters
 //	plsim -bench ocean_cp -variant ep -trace-out run.json      # open in Perfetto
 //	plsim -bench gcc_r -metrics-interval 5000                  # periodic snapshots
+//	plsim -bench fft -checkpoint-out run.ckpt                  # periodic checkpoints
+//	plsim -bench fft -resume run.ckpt                          # continue a killed run
 //	plsim -cpuprofile cpu.pprof -memprofile mem.pprof ...
 //	plsim -list
 package main
@@ -39,6 +41,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 		traceBuf   = flag.Int("trace-buf", 1<<18, "event ring-buffer capacity for -trace-out (oldest events drop when full)")
 		metricsInt = flag.Int64("metrics-interval", 0, "capture a counter snapshot every N cycles (0 = off)")
+		ckptOut    = flag.String("checkpoint-out", "", "write periodic checkpoints to this file (atomically replaced each interval)")
+		ckptEvery  = flag.Int64("checkpoint-every", 1_000_000, "cycles between checkpoints for -checkpoint-out")
+		resumeFrom = flag.String("resume", "", "resume the run from a checkpoint file written by -checkpoint-out")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -105,6 +110,24 @@ func main() {
 	}
 	if *traceOut != "" {
 		spec.TraceBuffer = *traceBuf
+	}
+	if *ckptOut != "" {
+		spec.CheckpointEvery = *ckptEvery
+		spec.CheckpointSink = func(b []byte) error {
+			return writeFileAtomic(*ckptOut, b)
+		}
+	}
+	if *resumeFrom != "" {
+		b, err := os.ReadFile(*resumeFrom)
+		if err != nil {
+			fatal("%v", err)
+		}
+		meta, err := pinnedloads.CheckpointInfo(b)
+		if err != nil {
+			fatal("resume: %v", err)
+		}
+		spec.ResumeFrom = b
+		fmt.Fprintf(os.Stderr, "resuming %q from cycle %d\n", meta.Identity, meta.Cycle)
 	}
 	res, err := pinnedloads.Run(spec)
 	if err != nil {
@@ -186,6 +209,16 @@ func suiteProfiles(suite string) []*pinnedloads.Profile {
 	default:
 		return pinnedloads.PARSEC()
 	}
+}
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-write
+// never leaves a truncated checkpoint behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,173 @@
+package checkpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/core"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/isa"
+	"pinnedloads/internal/trace"
+)
+
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	w := trace.ByName("mcf_r")
+	if w == nil {
+		t.Fatal("mcf profile missing")
+	}
+	sys, err := core.New(arch.PaperConfig(1), defense.Policy{Scheme: defense.DOM, Variant: defense.LP}, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Meta{Identity: "job-abc123", Cycle: 424242, Fingerprint: 0xdeadbeefcafe}
+	payload := []byte("not a real payload, but the format does not care")
+	blob := Encode(m, payload)
+
+	got, p, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("meta round-trip: got %+v, want %+v", got, m)
+	}
+	if string(p) != string(payload) {
+		t.Fatalf("payload round-trip: got %q", p)
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	blob := Encode(Meta{Identity: "x"}, []byte("payload"))
+	blob[4] = 99 // version byte
+
+	_, _, err := Decode(blob)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VersionError, got %v", err)
+	}
+	if ve.Version != 99 {
+		t.Fatalf("VersionError.Version = %d, want 99", ve.Version)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	blob := Encode(Meta{Identity: "x", Cycle: 7}, []byte("some payload bytes"))
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", blob[:5]},
+		{"bad magic", append([]byte("NOPE"), blob[4:]...)},
+		{"truncated", blob[:len(blob)-3]},
+		{"flipped payload byte", flip(blob, len(blob)-1)},
+		{"flipped meta byte", flip(blob, 10)},
+		{"flipped crc byte", flip(blob, 6)},
+	} {
+		_, _, err := Decode(tc.data)
+		if err == nil {
+			t.Errorf("%s: Decode accepted corrupt data", tc.name)
+			continue
+		}
+		var ve *VersionError
+		if errors.As(err, &ve) {
+			t.Errorf("%s: got VersionError for corruption: %v", tc.name, err)
+		}
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x40
+	return c
+}
+
+func TestCaptureRestoreFingerprint(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.Run(500, 2000); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Capture(sys, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, _, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identity != "run-1" || m.Cycle != sys.Cycle() || m.Fingerprint != sys.Fingerprint() {
+		t.Fatalf("capture meta %+v does not match system (cycle %d, fp %x)",
+			m, sys.Cycle(), sys.Fingerprint())
+	}
+
+	// Restoring into a system with a different policy must fail typed.
+	w := trace.ByName("mcf_r")
+	other, err := core.New(arch.PaperConfig(1), defense.Policy{Scheme: defense.Fence}, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Restore(blob, other)
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MismatchError restoring into different policy, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("mismatch error should mention policy: %v", err)
+	}
+
+	// Restoring into an identical fresh system succeeds and lands on the
+	// snapshot cycle.
+	fresh := testSystem(t)
+	m2, err := Restore(blob, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatalf("restore meta %+v != capture meta %+v", m2, m)
+	}
+	if fresh.Cycle() != sys.Cycle() {
+		t.Fatalf("restored cycle %d, want %d", fresh.Cycle(), sys.Cycle())
+	}
+	if !fresh.Resumed() {
+		t.Fatal("restored system not marked resumed")
+	}
+}
+
+func TestCaptureRejectsOpaqueWorkload(t *testing.T) {
+	// The built-in sources are checkpointable; a custom generator that does
+	// not implement the ckptio interfaces must fail Capture with a clear
+	// error instead of producing an unresumable snapshot.
+	sys, err := core.New(arch.PaperConfig(1),
+		defense.Policy{Scheme: defense.Unsafe}, uncheckpointable{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Capture(sys, "x"); err == nil ||
+		!strings.Contains(err.Error(), "not checkpointable") {
+		t.Fatalf("want not-checkpointable error, got %v", err)
+	}
+}
+
+type uncheckpointable struct{}
+
+func (uncheckpointable) Name() string { return "opaque" }
+func (uncheckpointable) Cores() int   { return 1 }
+func (uncheckpointable) Generator(core int, seed uint64) trace.Generator {
+	return opaqueGen{}
+}
+
+type opaqueGen struct{}
+
+func (opaqueGen) Next() isa.Inst      { return isa.Inst{Op: isa.Halt} }
+func (opaqueGen) WrongPath() isa.Inst { return isa.Inst{} }

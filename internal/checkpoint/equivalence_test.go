@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/core"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/trace"
+)
+
+// equivalencePolicies covers every scheme family the paper evaluates.
+var equivalencePolicies = []defense.Policy{
+	{Scheme: defense.Unsafe},
+	{Scheme: defense.Fence, Variant: defense.Comp},
+	{Scheme: defense.DOM, Variant: defense.LP},
+	{Scheme: defense.DOM, Variant: defense.EP},
+	{Scheme: defense.STT, Variant: defense.Comp},
+	{Scheme: defense.IS, Variant: defense.Comp},
+}
+
+type runOutcome struct {
+	cycles   int64
+	cpi      float64
+	counters string
+	halts    []int64
+}
+
+func outcome(t *testing.T, sys *core.System, warmup, measure int64, cores int) runOutcome {
+	t.Helper()
+	res, err := sys.Run(warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := runOutcome{cycles: res.Cycles, cpi: res.CPI, counters: res.Counters.String()}
+	for i := 0; i < cores; i++ {
+		o.halts = append(o.halts, sys.Core(i).HaltCycle())
+	}
+	return o
+}
+
+func diffOutcome(t *testing.T, label string, got, want runOutcome) {
+	t.Helper()
+	if got.cycles != want.cycles || got.cpi != want.cpi {
+		t.Errorf("%s: cycles/CPI %d/%v, want %d/%v", label, got.cycles, got.cpi, want.cycles, want.cpi)
+	}
+	if got.counters != want.counters {
+		t.Errorf("%s: counter snapshots differ:\ngot:\n%s\nwant:\n%s", label, got.counters, want.counters)
+	}
+	if fmt.Sprint(got.halts) != fmt.Sprint(want.halts) {
+		t.Errorf("%s: halt cycles %v, want %v", label, got.halts, want.halts)
+	}
+}
+
+// TestSnapshotRestoreEquivalence is the subsystem's correctness bar: for
+// every defense scheme, snapshot mid-run -> restore into a fresh system ->
+// continue must produce results identical to the uninterrupted run — same
+// interval cycles, same CPI, identical counter values, identical per-core
+// halt cycles.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	const warmup, measure, every = 1_000, 6_000, 4_096
+	w := trace.ByName("fft") // 8-core: exercises coherence, barriers, locks
+	if w == nil {
+		t.Fatal("fft profile missing")
+	}
+	cfg := arch.PaperConfig(0)
+	cores := w.Cores()
+
+	for _, pol := range equivalencePolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			t.Parallel()
+			// Reference: one uninterrupted run.
+			ref, err := core.New(cfg, pol, w, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := outcome(t, ref, warmup, measure, cores)
+
+			// Checkpointed run: identical system, with periodic snapshots.
+			ck, err := core.New(cfg, pol, w, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var blobs [][]byte
+			ck.SetCheckpointHook(every, func() error {
+				b, err := Capture(ck, "equiv")
+				if err != nil {
+					return err
+				}
+				blobs = append(blobs, b)
+				return nil
+			})
+			got := outcome(t, ck, warmup, measure, cores)
+			diffOutcome(t, "checkpointing run", got, want)
+			if len(blobs) == 0 {
+				t.Fatal("no checkpoints captured; interval too large for this run")
+			}
+
+			// Resume from a mid-run snapshot (the latest, deepest into the
+			// run) in a fresh process-equivalent system and continue.
+			for _, idx := range []int{0, len(blobs) - 1} {
+				fresh, err := core.New(cfg, pol, w, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				meta, err := Restore(blobs[idx], fresh)
+				if err != nil {
+					t.Fatalf("restore snapshot %d: %v", idx, err)
+				}
+				if meta.Cycle != fresh.Cycle() {
+					t.Fatalf("restored cycle %d != meta cycle %d", fresh.Cycle(), meta.Cycle)
+				}
+				resumed := outcome(t, fresh, warmup, measure, cores)
+				diffOutcome(t, fmt.Sprintf("resume from snapshot %d (cycle %d)", idx, meta.Cycle),
+					resumed, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreEquivalenceAttack runs the spectre_v1 adversarial
+// kernel to completion twice — uninterrupted, and resumed from a mid-run
+// snapshot — and requires identical per-core halt cycles: a divergence
+// would mean checkpointing perturbs exactly the timing the security oracle
+// measures.
+func TestSnapshotRestoreEquivalenceAttack(t *testing.T) {
+	// Enough gadget activations that the run crosses several checkpoint
+	// safe points (each iteration spans a few hundred cycles).
+	atk := &trace.Attack{AttackKind: "spectre_v1", Secret: 1, Iters: 128}
+	cfg := arch.PaperConfig(0)
+	pol := defense.Policy{Scheme: defense.DOM, Variant: defense.LP}
+
+	haltCycles := func(sys *core.System) []int64 {
+		var out []int64
+		for i := 0; i < atk.Cores(); i++ {
+			out = append(out, sys.Core(i).HaltCycle())
+		}
+		return out
+	}
+
+	ref, err := core.New(cfg, pol, atk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := haltCycles(ref)
+
+	ck, err := core.New(cfg, pol, atk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	ck.SetCheckpointHook(4_096, func() error {
+		if blob == nil {
+			b, err := Capture(ck, "atk")
+			if err != nil {
+				return err
+			}
+			blob = b
+		}
+		return nil
+	})
+	if _, err := ck.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("attack halted before the first checkpoint interval")
+	}
+
+	fresh, err := core.New(cfg, pol, atk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(blob, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := haltCycles(fresh); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("resumed attack halt cycles %v, want %v", got, want)
+	}
+}

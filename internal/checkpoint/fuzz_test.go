@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode hardens the checkpoint format layer the same way
+// FuzzEnvelopeDecode hardens the simcache envelope: arbitrary bytes must
+// never panic or hang — they either decode to the exact meta/payload that
+// was encoded, or fail with a clean error.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := Encode(Meta{Identity: "fuzz-seed", Cycle: 12345, Fingerprint: 0xabcdef},
+		[]byte("payload bytes of a pretend snapshot"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])         // truncated payload
+	f.Add(valid[:9])                    // header only
+	f.Add(valid[:4])                    // magic only
+	f.Add([]byte{})                     // empty
+	f.Add([]byte("PLCK"))               // magic, nothing else
+	f.Add([]byte("not a checkpoint"))   // garbage
+	f.Add(bytes.Repeat([]byte{0}, 64))  // zeros
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 7
+	f.Add(badVersion)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0xff
+	f.Add(badCRC)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Successful decodes must re-encode to the identical blob: the
+		// format has exactly one serialization per (meta, payload).
+		if again := Encode(m, payload); !bytes.Equal(again, data) {
+			t.Fatalf("decode/encode not idempotent:\n in: %x\nout: %x", data, again)
+		}
+	})
+}

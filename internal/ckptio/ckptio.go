@@ -1,0 +1,308 @@
+// Package ckptio provides the low-level codec shared by every component
+// that serializes simulation state into a checkpoint (package checkpoint).
+// The format follows the internal/tracefile idioms: varint-packed integers
+// (unsigned as uvarint, signed as zigzag), length-prefixed strings and
+// sequences, and a hardened decoder that turns every malformed input into a
+// sticky error instead of a panic or an unbounded allocation.
+//
+// Encoding is infallible and appends to a growing buffer; decoding carries
+// a sticky error so state-restore code can read a whole structure straight
+// through and check Err once at the end. Sequence lengths are read through
+// Count, which bounds them by both a caller-supplied maximum and the bytes
+// remaining in the input, so a corrupt length can never drive a large
+// allocation.
+package ckptio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pinnedloads/internal/isa"
+)
+
+// Saver is implemented by components that can serialize their mutable
+// state. Save must be deterministic: the same state must always produce
+// the same bytes (maps are written in sorted key order).
+type Saver interface {
+	SaveState(e *Encoder)
+}
+
+// Loader is the inverse of Saver. Implementations report malformed input
+// through the decoder's sticky error (Decoder.Failf) rather than panicking.
+type Loader interface {
+	LoadState(d *Decoder)
+}
+
+// Encoder appends primitive values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 writes one raw byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool writes a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U64 writes an unsigned value as a uvarint.
+func (e *Encoder) U64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// U32 writes a 32-bit unsigned value as a uvarint.
+func (e *Encoder) U32(v uint32) { e.U64(uint64(v)) }
+
+// U16 writes a 16-bit unsigned value as a uvarint.
+func (e *Encoder) U16(v uint16) { e.U64(uint64(v)) }
+
+// I64 writes a signed value zigzag-encoded as a uvarint.
+func (e *Encoder) I64(v int64) { e.U64(uint64((v << 1) ^ (v >> 63))) }
+
+// I32 writes a 32-bit signed value zigzag-encoded.
+func (e *Encoder) I32(v int32) { e.I64(int64(v)) }
+
+// Int writes an int zigzag-encoded.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// F64 writes a float64 as its raw IEEE-754 bits (fixed 8 bytes, so exact
+// round-trips are guaranteed).
+func (e *Encoder) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Inst writes one micro-operation, including every field (unlike the
+// tracefile stream encoding, TransientAddr is preserved: checkpointed
+// pending queues may hold adversarial-kernel instructions).
+func (e *Encoder) Inst(in *isa.Inst) {
+	e.U8(uint8(in.Op))
+	e.U8(in.Lat)
+	for _, d := range in.Deps {
+		e.I32(d)
+	}
+	e.U64(in.Addr)
+	e.Bool(in.Taken)
+	e.Bool(in.Mispredict)
+	e.Bool(in.Fault)
+	e.U64(in.TransientAddr)
+	e.U64(in.PC)
+}
+
+// Decoder reads values encoded by Encoder. The first malformed read sets a
+// sticky error; every subsequent read returns zero values, so callers can
+// decode a whole structure and check Err once.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Failf sets the sticky error (first failure wins). State-restore code uses
+// it to reject structurally valid input that does not match the receiving
+// system (for example a mismatched ROB geometry).
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckptio: "+format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.data) - d.off
+}
+
+// Rest consumes and returns every unread byte.
+func (d *Decoder) Rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	r := d.data[d.off:]
+	d.off = len(d.data)
+	return r
+}
+
+// Done reports the sticky error, or an error if unread bytes remain.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return fmt.Errorf("ckptio: %d trailing bytes after decode", len(d.data)-d.off)
+	}
+	return nil
+}
+
+// U8 reads one raw byte.
+func (d *Decoder) U8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.Failf("truncated input at byte %d", d.off)
+		return 0
+	}
+	v := d.data[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads a bool; any byte other than 0 or 1 is malformed.
+func (d *Decoder) Bool() bool {
+	v := d.U8()
+	if v > 1 {
+		d.Failf("invalid bool byte %#x", v)
+		return false
+	}
+	return v == 1
+}
+
+// U64 reads a uvarint.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.Failf("malformed uvarint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// U32 reads a uvarint that must fit 32 bits.
+func (d *Decoder) U32() uint32 {
+	v := d.U64()
+	if v > math.MaxUint32 {
+		d.Failf("value %d overflows uint32", v)
+		return 0
+	}
+	return uint32(v)
+}
+
+// U16 reads a uvarint that must fit 16 bits.
+func (d *Decoder) U16() uint16 {
+	v := d.U64()
+	if v > math.MaxUint16 {
+		d.Failf("value %d overflows uint16", v)
+		return 0
+	}
+	return uint16(v)
+}
+
+// I64 reads a zigzag-encoded signed value.
+func (d *Decoder) I64() int64 {
+	v := d.U64()
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// I32 reads a zigzag-encoded value that must fit 32 bits.
+func (d *Decoder) I32() int32 {
+	v := d.I64()
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		d.Failf("value %d overflows int32", v)
+		return 0
+	}
+	return int32(v)
+}
+
+// Int reads a zigzag-encoded int.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.Failf("value %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads a fixed 8-byte float64.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.data) {
+		d.Failf("truncated float64 at byte %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return math.Float64frombits(v)
+}
+
+// maxStringLen bounds decoded string lengths (mirrors tracefile's name
+// hardening).
+const maxStringLen = 1 << 16
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen || n > uint64(d.Remaining()) {
+		d.Failf("string length %d exceeds input", n)
+		return ""
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Count reads a sequence length and validates it against max and the bytes
+// remaining (every element costs at least one byte), so a corrupt count can
+// never drive a large allocation.
+func (d *Decoder) Count(max int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(max) || n > uint64(d.Remaining()) {
+		d.Failf("sequence length %d exceeds limit %d or input size", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// Inst reads one micro-operation.
+func (d *Decoder) Inst(in *isa.Inst) {
+	in.Op = isa.Op(d.U8())
+	in.Lat = d.U8()
+	for i := range in.Deps {
+		in.Deps[i] = d.I32()
+	}
+	in.Addr = d.U64()
+	in.Taken = d.Bool()
+	in.Mispredict = d.Bool()
+	in.Fault = d.Bool()
+	in.TransientAddr = d.U64()
+	in.PC = d.U64()
+}

@@ -1,0 +1,327 @@
+package coherence
+
+import (
+	"sort"
+
+	"pinnedloads/internal/cache"
+	"pinnedloads/internal/ckptio"
+)
+
+// Decode bounds: a fabric slot holds at most a few messages per controller,
+// the L1 keeps a handful of outstanding transactions, and the directory
+// backlog is bounded by the cores' outstanding requests.
+const (
+	maxSlotMsgs = 1 << 16
+	maxTxns     = 1 << 12
+	maxBacklog  = 1 << 16
+)
+
+// saveMsg / loadMsg serialize one coherence message.
+func saveMsg(e *ckptio.Encoder, m *Msg) {
+	e.U8(uint8(m.Kind))
+	e.U64(m.Line)
+	e.Bool(m.Src.Dir)
+	e.Int(m.Src.Idx)
+	e.Bool(m.Dst.Dir)
+	e.Int(m.Dst.Idx)
+	e.Int(m.Acks)
+	e.Int(m.Requestor)
+	e.Bool(m.Star)
+	e.I64(m.Token)
+}
+
+func loadMsg(d *ckptio.Decoder) Msg {
+	var m Msg
+	k := d.U8()
+	if Kind(k) >= numKinds {
+		d.Failf("invalid message kind %d", k)
+		return m
+	}
+	m.Kind = Kind(k)
+	m.Line = d.U64()
+	m.Src.Dir = d.Bool()
+	m.Src.Idx = d.Int()
+	m.Dst.Dir = d.Bool()
+	m.Dst.Idx = d.Int()
+	m.Acks = d.Int()
+	m.Requestor = d.Int()
+	m.Star = d.Bool()
+	m.Token = d.I64()
+	return m
+}
+
+// SaveState serializes the fabric: the current cycle and every non-empty
+// calendar slot with its in-flight messages, in slot order (deterministic).
+func (f *fabric) SaveState(e *ckptio.Encoder) {
+	e.I64(f.cycle)
+	occupied := 0
+	for i := range f.ring {
+		if len(f.ring[i]) > 0 {
+			occupied++
+		}
+	}
+	e.U64(uint64(occupied))
+	for i := range f.ring {
+		if len(f.ring[i]) == 0 {
+			continue
+		}
+		e.Int(i)
+		e.U64(uint64(len(f.ring[i])))
+		for j := range f.ring[i] {
+			saveMsg(e, &f.ring[i][j])
+		}
+	}
+}
+
+// LoadState restores the fabric calendar; slots not named in the checkpoint
+// are emptied.
+func (f *fabric) LoadState(d *ckptio.Decoder) {
+	f.cycle = d.I64()
+	for i := range f.ring {
+		f.ring[i] = f.ring[i][:0]
+	}
+	occupied := d.Count(maxDelay)
+	for s := 0; s < occupied; s++ {
+		slot := d.Int()
+		if d.Err() != nil {
+			return
+		}
+		if slot < 0 || slot >= maxDelay {
+			d.Failf("fabric slot %d out of range", slot)
+			return
+		}
+		n := d.Count(maxSlotMsgs)
+		for j := 0; j < n; j++ {
+			f.ring[slot] = append(f.ring[slot], loadMsg(d))
+			if d.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// SaveState serializes an L1 controller's mutable state. The tag array and
+// MSHR file carry their own geometry checks; maps are written in sorted line
+// order for deterministic bytes.
+func (l *L1) SaveState(e *ckptio.Encoder) {
+	e.I64(l.now)
+	l.tags.SaveState(e)
+	l.mshr.SaveState(e)
+
+	lines := make([]uint64, 0, len(l.acq))
+	for line := range l.acq {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	e.U64(uint64(len(lines)))
+	for _, line := range lines {
+		st := l.acq[line]
+		e.U64(st.line)
+		e.Bool(st.star)
+		e.Int(st.need)
+		e.Int(st.got)
+		e.Bool(st.deferred)
+		e.Bool(st.inFlight)
+	}
+
+	lines = lines[:0]
+	for line := range l.evictBuf {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	e.U64(uint64(len(lines)))
+	for _, line := range lines {
+		e.U64(line)
+	}
+
+	e.U64(uint64(len(l.pending)))
+	for i := range l.pending {
+		e.U64(l.pending[i].line)
+		e.U8(uint8(l.pending[i].state))
+		e.Int(l.pending[i].mshr)
+	}
+	e.Int(l.portsUsed)
+	e.U64(l.lastFill)
+}
+
+// LoadState restores an L1 controller built from the same configuration.
+// The storeTxn free list starts empty (it is a recycling pool, not state).
+func (l *L1) LoadState(d *ckptio.Decoder) {
+	l.now = d.I64()
+	l.tags.LoadState(d)
+	l.mshr.LoadState(d)
+
+	clear(l.acq)
+	l.txnFree = l.txnFree[:0]
+	n := d.Count(maxTxns)
+	for i := 0; i < n; i++ {
+		st := &storeTxn{}
+		st.line = d.U64()
+		st.star = d.Bool()
+		st.need = d.Int()
+		st.got = d.Int()
+		st.deferred = d.Bool()
+		st.inFlight = d.Bool()
+		if d.Err() != nil {
+			return
+		}
+		l.acq[st.line] = st
+	}
+
+	clear(l.evictBuf)
+	n = d.Count(maxTxns)
+	for i := 0; i < n; i++ {
+		line := d.U64()
+		if d.Err() != nil {
+			return
+		}
+		l.evictBuf[line] = true
+	}
+
+	n = d.Count(maxTxns)
+	l.pending = l.pending[:0]
+	for i := 0; i < n; i++ {
+		var p pendingFill
+		p.line = d.U64()
+		st := cache.State(d.U8())
+		if st > cache.Modified {
+			d.Failf("invalid pending-fill state %d", st)
+			return
+		}
+		p.state = st
+		p.mshr = d.Int()
+		l.pending = append(l.pending, p)
+	}
+	l.portsUsed = d.Int()
+	l.lastFill = d.U64()
+}
+
+// SaveState serializes a directory/LLC slice: every way's directory state,
+// the LRU stamp clock, and the demand backlog.
+func (d *Dir) SaveState(e *ckptio.Encoder) {
+	e.U64(d.stamp)
+	e.Int(len(d.lines))
+	for i := range d.lines {
+		ln := &d.lines[i]
+		e.Bool(ln.valid)
+		e.U64(ln.addr)
+		e.U32(ln.sharers)
+		e.I64(int64(ln.owner))
+		e.U8(uint8(ln.busy))
+		e.I64(int64(ln.busyReq))
+		e.Bool(ln.busyStar)
+		e.U32(ln.prevSharers)
+		e.Int(ln.pendAcks)
+		e.Bool(ln.deferred)
+		e.U8(uint8(ln.fetchKind))
+		e.U64(ln.lru)
+	}
+	e.Int(d.demandUsed)
+	e.U64(uint64(d.backlog.Len()))
+	for i := 0; i < d.backlog.Len(); i++ {
+		m := d.backlog.At(i)
+		saveMsg(e, &m)
+	}
+}
+
+// LoadState restores a directory slice of the same geometry.
+func (d *Dir) LoadState(dec *ckptio.Decoder) {
+	d.stamp = dec.U64()
+	n := dec.Int()
+	if dec.Err() != nil {
+		return
+	}
+	if n != len(d.lines) {
+		dec.Failf("directory has %d ways, checkpoint has %d", len(d.lines), n)
+		return
+	}
+	for i := range d.lines {
+		ln := &d.lines[i]
+		ln.valid = dec.Bool()
+		ln.addr = dec.U64()
+		ln.sharers = dec.U32()
+		ln.owner = int8(dec.I64())
+		b := dec.U8()
+		if busyKind(b) > busyRecall {
+			dec.Failf("invalid directory busy state %d", b)
+			return
+		}
+		ln.busy = busyKind(b)
+		ln.busyReq = int8(dec.I64())
+		ln.busyStar = dec.Bool()
+		ln.prevSharers = dec.U32()
+		ln.pendAcks = dec.Int()
+		ln.deferred = dec.Bool()
+		fk := dec.U8()
+		if Kind(fk) >= numKinds {
+			dec.Failf("invalid fetch kind %d", fk)
+			return
+		}
+		ln.fetchKind = Kind(fk)
+		ln.lru = dec.U64()
+	}
+	d.demandUsed = dec.Int()
+	for d.backlog.Len() > 0 {
+		d.backlog.Pop()
+	}
+	nb := dec.Count(maxBacklog)
+	for i := 0; i < nb; i++ {
+		m := loadMsg(dec)
+		if dec.Err() != nil {
+			return
+		}
+		d.backlog.Push(m)
+	}
+}
+
+// SaveState serializes the whole memory hierarchy: mesh traffic counters,
+// the fabric calendar, then every L1 and directory slice.
+func (s *System) SaveState(e *ckptio.Encoder) {
+	e.U64(s.mesh.Messages())
+	e.U64(s.mesh.Flits())
+	s.fab.SaveState(e)
+	e.Int(len(s.l1s))
+	for _, l := range s.l1s {
+		l.SaveState(e)
+	}
+	e.Int(len(s.dirs))
+	for _, d := range s.dirs {
+		d.SaveState(e)
+	}
+}
+
+// LoadState restores a memory hierarchy built from the same configuration.
+func (s *System) LoadState(d *ckptio.Decoder) {
+	msgs := d.U64()
+	flits := d.U64()
+	s.mesh.SetTraffic(msgs, flits)
+	s.fab.LoadState(d)
+	n := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if n != len(s.l1s) {
+		d.Failf("system has %d L1s, checkpoint has %d", len(s.l1s), n)
+		return
+	}
+	for _, l := range s.l1s {
+		l.LoadState(d)
+		if d.Err() != nil {
+			return
+		}
+	}
+	n = d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if n != len(s.dirs) {
+		d.Failf("system has %d directory slices, checkpoint has %d", len(s.dirs), n)
+		return
+	}
+	for _, dir := range s.dirs {
+		dir.LoadState(d)
+		if d.Err() != nil {
+			return
+		}
+	}
+}

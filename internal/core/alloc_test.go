@@ -29,6 +29,21 @@ func TestSteadyStateCycleAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateCycleAllocsCheckpointOff pins that a disabled checkpoint
+// hook (CheckpointEvery = 0, the default everywhere) leaves the cycle loop
+// at exactly zero allocations — the subsystem must be free when unused.
+func TestSteadyStateCycleAllocsCheckpointOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	sys := newBenchSystem(t, defense.Policy{Scheme: defense.DOM, Variant: defense.LP}, nil)
+	sys.SetCheckpointHook(0, nil)
+	avg := testing.AllocsPerRun(2000, func() { sys.stepCycle() })
+	if avg != 0 {
+		t.Fatalf("steady-state cycle loop allocates %v/cycle with checkpointing disabled, want 0", avg)
+	}
+}
+
 // TestSteadyStateCycleAllocsTracerOn pins the tracing overhead: with a
 // ring recorder attached (fronted by the shared event batch), the budget
 // is a small constant — batch appends and bulk ring copies, no per-event

@@ -35,6 +35,19 @@ type System struct {
 	// caller attached, so hot-path Record calls are plain appends. Events
 	// from all cores share one buffer, preserving global recording order.
 	batch *obs.Batch
+
+	// Checkpoint/restore state. warmupDone records the cycle the warmup
+	// phase ended (-1 until then) and warmupTarget its instruction target;
+	// both travel in snapshots so a restored run can skip a completed
+	// warmup. The checkpoint hook fires at safe points inside the cycle
+	// loop's existing poll mask, so ckptEvery=0 costs the hot loop nothing.
+	warmupDone   int64
+	warmupTarget int64
+	resumed      bool
+	ckptEvery    int64
+	lastCkpt     int64
+	ckptFn       func() error
+	warmupHook   func()
 }
 
 // progressWindow bounds how long the simulator tolerates zero retirement
@@ -50,7 +63,7 @@ func New(cfg arch.Config, policy defense.Policy, w trace.Source, seed uint64) (*
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, policy: policy}
+	s := &System{cfg: cfg, policy: policy, warmupDone: -1}
 	s.mem = coherence.NewSystem(&s.cfg, &s.count)
 	bar := pipeline.NewBarrierSync(cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
@@ -139,9 +152,18 @@ func (s *System) RunContext(ctx context.Context, warmup, measure int64) (Result,
 		return Result{}, fmt.Errorf("core: measure count must be positive, got %d", measure)
 	}
 	defer s.flushEvents()
-	start, err := s.runUntil(ctx, warmup)
-	if err != nil {
-		return Result{}, err
+	start := s.warmupDone
+	if !(s.resumed && s.warmupDone >= 0 && s.warmupTarget == warmup) {
+		var err error
+		start, err = s.runUntil(ctx, warmup)
+		if err != nil {
+			return Result{}, err
+		}
+		s.warmupDone = start
+		s.warmupTarget = warmup
+		if s.warmupHook != nil {
+			s.warmupHook()
+		}
 	}
 	end, err := s.runUntil(ctx, warmup+measure)
 	if err != nil {
@@ -203,6 +225,12 @@ func (s *System) runUntil(ctx context.Context, target int64) (int64, error) {
 			} else if s.cycle-lastProgress > progressWindow {
 				return 0, fmt.Errorf("core: no retirement progress for %d cycles at cycle %d (policy %s)",
 					progressWindow, s.cycle, s.policy)
+			}
+			if s.ckptEvery > 0 && s.cycle-s.lastCkpt >= s.ckptEvery {
+				s.lastCkpt = s.cycle
+				if err := s.ckptFn(); err != nil {
+					return 0, fmt.Errorf("core: checkpoint at cycle %d: %w", s.cycle, err)
+				}
 			}
 		}
 		s.stepCycle()

@@ -81,6 +81,49 @@ type RemoteRunner interface {
 	Run(ctx context.Context, spec service.JobSpec) (*simrun.Output, error)
 }
 
+// WarmStore caches warmup-boundary checkpoints so sweeps that revisit the
+// same warmed prefix fork from the checkpoint instead of re-simulating
+// warmup. The key covers everything that determines the warmed state —
+// benchmark, policy, effective configuration, seed and warmup length —
+// with the measure length zeroed out: two runs that differ only in how
+// long they measure share one warmed prefix. A store is safe for
+// concurrent use and can be shared across Runner instances (a repeated
+// sweep's second pass forks every run). Because the simulator is
+// deterministic, a forked run is bit-identical to a cold one; the
+// equivalence tests in internal/checkpoint enforce that, and
+// TestWarmForkCSVIdentical enforces it end-to-end at the CSV layer.
+type WarmStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewWarmStore returns an empty warm-checkpoint store.
+func NewWarmStore() *WarmStore { return &WarmStore{m: make(map[string][]byte)} }
+
+// Len reports how many warmed prefixes the store holds.
+func (s *WarmStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func (s *WarmStore) lookup(key string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[key]
+}
+
+// store publishes a warm checkpoint; the first writer for a key wins
+// (concurrent writers hold byte-identical blobs — the simulation is a
+// deterministic function of the key).
+func (s *WarmStore) store(key string, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		s.m[key] = blob
+	}
+}
+
 // Runner executes simulations with memoization so experiments can share
 // baselines. run is safe for concurrent use; runAll spreads a request set
 // over a worker pool. The zero Workers value uses every available CPU.
@@ -98,10 +141,16 @@ type Runner struct {
 	// replays, the Figure 2 micro-profiles — always simulate locally
 	// because the service can only name what its registry holds.
 	Remote RemoteRunner
+	// Warm, when non-nil, shares warmup-boundary checkpoints across runs:
+	// a local simulation whose warmed prefix is already in the store
+	// resumes from the checkpoint instead of re-executing warmup, and a
+	// cold run publishes its warmup checkpoint for later runs to fork.
+	Warm *WarmStore
 
 	memo   *simcache.Memo
 	sims   atomic.Int64
 	remote atomic.Int64
+	forks  atomic.Int64
 }
 
 // NewRunner returns a Runner with the given parameters.
@@ -116,6 +165,10 @@ func (r *Runner) Simulations() int64 { return r.sims.Load() }
 
 // RemoteRuns returns how many simulations the Remote hook served.
 func (r *Runner) RemoteRuns() int64 { return r.remote.Load() }
+
+// Forks returns how many local simulations skipped warmup by forking a
+// warm checkpoint from the Warm store.
+func (r *Runner) Forks() int64 { return r.forks.Load() }
 
 // key returns a request's content-addressed memoization key: the shared
 // speckey digest over the benchmark, the resolved policy, the effective
@@ -178,16 +231,50 @@ func (r *Runner) simulate(bench trace.Source, pol defense.Policy, cfg *arch.Conf
 			return out, nil
 		}
 	}
-	out, err := simrun.Execute(context.Background(), bench, pol, cfg, simrun.Params{
+	p := simrun.Params{
 		Seed:    r.P.Seed,
 		Warmup:  r.P.Warmup,
 		Measure: r.P.Measure,
-	})
+	}
+	if r.Warm != nil && r.P.Warmup > 0 {
+		wkey := r.warmKey(bench, pol, cfg)
+		if blob := r.Warm.lookup(wkey); blob != nil {
+			warmed := p
+			warmed.Resume = blob
+			if out, err := simrun.Execute(context.Background(), bench, pol, cfg, warmed); err == nil {
+				r.forks.Add(1)
+				r.sims.Add(1)
+				return out, nil
+			}
+			// A checkpoint that fails to restore (version skew, fingerprint
+			// mismatch) is ignored: fall through and run cold.
+		}
+		p.CheckpointIdentity = "warm:" + wkey
+		p.WarmupSink = func(b []byte) { r.Warm.store(wkey, b) }
+	}
+	out, err := simrun.Execute(context.Background(), bench, pol, cfg, p)
 	if err != nil {
 		return nil, err
 	}
 	r.sims.Add(1)
 	return out, nil
+}
+
+// warmKey is the warm-checkpoint identity of a run: its memoization key
+// with the measure length zeroed, so runs differing only in measure share
+// a warmed prefix.
+func (r *Runner) warmKey(bench trace.Source, pol defense.Policy, cfg *arch.Config) string {
+	pol = normalizePolicy(pol)
+	return speckey.Spec{
+		Benchmark: bench.Name(),
+		Scheme:    pol.Scheme.String(),
+		Variant:   pol.Variant.String(),
+		Conds:     uint8(pol.VPConds()),
+		Seed:      r.P.Seed,
+		Warmup:    r.P.Warmup,
+		Measure:   0,
+		Config:    effectiveConfig(bench, cfg),
+	}.Key()
 }
 
 // remoteSpec converts a run into a service job when the workload is a

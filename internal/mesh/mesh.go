@@ -71,3 +71,9 @@ func (m *Mesh) Messages() uint64 { return m.messages }
 
 // Flits returns the total flits sent.
 func (m *Mesh) Flits() uint64 { return m.flits }
+
+// SetTraffic restores the traffic counters from a checkpoint.
+func (m *Mesh) SetTraffic(messages, flits uint64) {
+	m.messages = messages
+	m.flits = flits
+}

@@ -1,0 +1,80 @@
+package pin
+
+import "pinnedloads/internal/ckptio"
+
+// maxCPTLines bounds a decoded CPT line list (ideal tables are unbounded in
+// capacity but hold at most a handful of contested lines in practice).
+const maxCPTLines = 1 << 16
+
+// SaveState serializes the CST's records and statistics. Geometry comes
+// from configuration and is validated by entry count.
+func (c *CST) SaveState(e *ckptio.Encoder) {
+	e.U64(uint64(len(c.entries)))
+	for i := range c.entries {
+		r := &c.entries[i]
+		e.Bool(r.valid)
+		e.U16(r.addrHash)
+		e.U32(r.lqID)
+		e.U64(r.line)
+	}
+	e.U64(c.attempts)
+	e.U64(c.denies)
+	e.U64(c.falsePositives)
+}
+
+// LoadState restores a CST of the same geometry.
+func (c *CST) LoadState(d *ckptio.Decoder) {
+	n := d.U64()
+	if d.Err() != nil {
+		return
+	}
+	if n != uint64(len(c.entries)) {
+		d.Failf("CST has %d records, checkpoint has %d", len(c.entries), n)
+		return
+	}
+	for i := range c.entries {
+		r := &c.entries[i]
+		r.valid = d.Bool()
+		r.addrHash = d.U16()
+		r.lqID = d.U32()
+		r.line = d.U64()
+	}
+	c.attempts = d.U64()
+	c.denies = d.U64()
+	c.falsePositives = d.U64()
+}
+
+// SaveState serializes the CPT's mutable state (capacity and the reserve
+// flag come from configuration).
+func (t *CPT) SaveState(e *ckptio.Encoder) {
+	e.U64(uint64(len(t.lines)))
+	for _, l := range t.lines {
+		e.U64(l)
+	}
+	e.Bool(t.stalled)
+	e.U64(uint64(len(t.waitq)))
+	for _, l := range t.waitq {
+		e.U64(l)
+	}
+	t.occupancy.SaveState(e)
+	e.U64(t.inserts)
+	e.U64(t.overflows)
+}
+
+// LoadState restores the CPT's mutable state.
+func (t *CPT) LoadState(d *ckptio.Decoder) {
+	n := d.Count(maxCPTLines)
+	t.lines = t.lines[:0]
+	for i := 0; i < n; i++ {
+		t.lines = append(t.lines, d.U64())
+	}
+	t.stalled = d.Bool()
+	n = d.Count(maxCPTLines)
+	t.waitq = t.waitq[:0]
+	for i := 0; i < n; i++ {
+		t.waitq = append(t.waitq, d.U64())
+	}
+	t.occupancy.LoadState(d)
+	t.inserts = d.U64()
+	t.overflows = d.U64()
+}

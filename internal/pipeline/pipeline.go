@@ -304,8 +304,16 @@ func (c *Core) VPFrontier() int64 { return c.vpFrontier }
 func (c *Core) Retired() int64 { return c.retired }
 
 // SetTarget arms completion detection at the given retired-instruction
-// count; DoneCycle reports when it was reached.
-func (c *Core) SetTarget(n int64) { c.target = n; c.doneCycle = -1 }
+// count; DoneCycle reports when it was reached. Re-arming the same target
+// is a no-op, so a restored core keeps its recorded completion cycle when
+// the run re-enters the phase it was checkpointed in.
+func (c *Core) SetTarget(n int64) {
+	if c.target == n {
+		return
+	}
+	c.target = n
+	c.doneCycle = -1
+}
 
 // DoneCycle returns the cycle the retirement target was reached, or -1.
 func (c *Core) DoneCycle() int64 { return c.doneCycle }

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -85,6 +86,23 @@ type JobError struct {
 
 func (e *JobError) Error() string {
 	return fmt.Sprintf("job %s failed on %s: %s", e.ID, e.Backend, e.Message)
+}
+
+// JobLostError reports a job that vanished mid-wait: the backend answered
+// the poll but no longer knows the ID, which happens when it restarted and
+// lost its in-memory registry (and no result cache holds the ID). Waiting
+// longer cannot help — the caller must resubmit the job (submission is
+// content-addressed, so a resubmit is always safe and, on a backend with a
+// checkpoint directory, resumes from the job's last persisted checkpoint).
+type JobLostError struct {
+	// Backend is the base URL of the server that lost the job.
+	Backend string
+	// ID is the job that went missing.
+	ID string
+}
+
+func (e *JobLostError) Error() string {
+	return fmt.Sprintf("job %s lost on %s (backend restarted?): resubmit to continue", e.ID, e.Backend)
 }
 
 // wrap prefixes an error with the client package and the backend's
@@ -221,6 +239,13 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 	for {
 		st, err := c.Get(ctx, id)
 		if err != nil {
+			// A 404 mid-wait means the backend restarted and lost the job:
+			// it will never reach a terminal state, so polling on would
+			// spin forever. Surface the dedicated error instead.
+			var serr *StatusError
+			if errors.As(err, &serr) && serr.Code == http.StatusNotFound {
+				return service.JobStatus{}, c.wrap(&JobLostError{Backend: c.Base, ID: id})
+			}
 			return service.JobStatus{}, err
 		}
 		if st.State.Terminal() {

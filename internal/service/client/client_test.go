@@ -311,3 +311,44 @@ func TestRunReportsJobFailure(t *testing.T) {
 		t.Fatalf("JobError %+v does not attribute the backend %s", jerr, ts.URL)
 	}
 }
+
+// TestWaitJobLost simulates a backend restart mid-wait: the job polls as
+// running, then the restarted registry answers 404. Wait must return the
+// typed JobLostError immediately instead of polling forever.
+func TestWaitJobLost(t *testing.T) {
+	var gets atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if gets.Add(1) <= 2 {
+			json.NewEncoder(w).Encode(service.JobStatus{ID: "abc", State: service.StateRunning})
+			return
+		}
+		// The "restarted" backend has an empty registry.
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown job"})
+	}))
+	defer fake.Close()
+	c, clk := fakeClient(fake.URL)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Wait(context.Background(), "abc")
+		done <- err
+	}()
+	advanceNext(t, clk) // after poll 1 (running)
+	advanceNext(t, clk) // after poll 2 (running); poll 3 gets the 404
+
+	err := <-done
+	var lost *JobLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want JobLostError", err)
+	}
+	if lost.ID != "abc" || lost.Backend != fake.URL {
+		t.Fatalf("JobLostError = %+v, want ID abc on %s", lost, fake.URL)
+	}
+	if !strings.Contains(err.Error(), "resubmit") {
+		t.Fatalf("error %q does not tell the user to resubmit", err)
+	}
+	if gets.Load() != 3 {
+		t.Fatalf("gets = %d, want exactly 3 (no polling after the loss)", gets.Load())
+	}
+}

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"pinnedloads/internal/checkpoint"
 	"pinnedloads/internal/simcache"
 	"pinnedloads/internal/simrun"
 	"pinnedloads/internal/stats"
@@ -45,6 +48,14 @@ type Options struct {
 	RetryAfter time.Duration
 	// Cache stores results by job ID (default: unbounded in-memory).
 	Cache simcache.Cache
+	// CheckpointDir, when set, persists a periodic checkpoint per running
+	// job to <dir>/<jobID>.ckpt (written atomically, deleted on success).
+	// A resubmitted job whose checkpoint survives — e.g. after the backend
+	// was SIGKILLed mid-run — resumes from it instead of starting over.
+	CheckpointDir string
+	// CheckpointEvery is the cycle interval between persisted checkpoints
+	// (default 500k cycles when CheckpointDir is set).
+	CheckpointEvery int64
 }
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -108,6 +119,9 @@ func New(opt Options) *Server {
 	}
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = 2 * time.Second
+	}
+	if opt.CheckpointDir != "" && opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 500_000
 	}
 	cache := opt.Cache
 	if cache == nil {
@@ -261,21 +275,84 @@ func (s *Server) runJob(j *job) {
 		s.finish(j, nil, false, err)
 		return
 	}
-	out, err := simrun.Execute(ctx, w, pol, j.spec.Config, simrun.Params{
+	p := simrun.Params{
 		Seed:        j.spec.Seed,
 		Warmup:      j.spec.Warmup,
 		Measure:     j.spec.Measure,
 		TraceBuffer: j.spec.TraceBuffer,
-	})
+	}
+	ckptPath := ""
+	if s.opt.CheckpointDir != "" {
+		ckptPath = filepath.Join(s.opt.CheckpointDir, j.id+".ckpt")
+		p.CheckpointIdentity = j.id
+		p.CheckpointEvery = s.opt.CheckpointEvery
+		p.CheckpointSink = func(b []byte) error {
+			if err := writeFileAtomic(ckptPath, b); err != nil {
+				s.count("svc.checkpoint_write_errors")
+				// A checkpoint that fails to persist must not kill the
+				// job; it only narrows the resume window.
+				return nil
+			}
+			s.count("svc.checkpoints")
+			return nil
+		}
+		p.OnResume = func(m checkpoint.Meta) {
+			s.count("svc.resumed_jobs")
+			s.countN("svc.resumed_cycles", uint64(m.Cycle))
+		}
+		if blob := s.loadCheckpoint(ckptPath, j.id); blob != nil {
+			p.Resume = blob
+		}
+	}
+	out, err := simrun.Execute(ctx, w, pol, j.spec.Config, p)
+	if err != nil && len(p.Resume) > 0 && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		// A checkpoint from an older binary or a corrupted write can fail
+		// restore; retry the job cold rather than failing it.
+		s.count("svc.resume_fallbacks")
+		os.Remove(ckptPath)
+		p.Resume = nil
+		out, err = simrun.Execute(ctx, w, pol, j.spec.Config, p)
+	}
 	if err == nil {
 		s.count("svc.executed")
 		if perr := s.cache.Put(j.id, out); perr != nil {
 			s.count("svc.cache_write_errors")
 		}
+		if ckptPath != "" {
+			os.Remove(ckptPath)
+		}
 	} else if errors.Is(err, context.DeadlineExceeded) {
 		s.count("svc.timeouts")
 	}
 	s.finish(j, out, false, err)
+}
+
+// loadCheckpoint reads and pre-validates a persisted checkpoint: it must
+// decode cleanly and carry the job's own ID as identity. Anything else is
+// deleted so the job runs cold.
+func (s *Server) loadCheckpoint(path, id string) []byte {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	m, _, err := checkpoint.Decode(blob)
+	if err != nil || m.Identity != id {
+		s.count("svc.checkpoint_invalid")
+		os.Remove(path)
+		return nil
+	}
+	return blob
+}
+
+// writeFileAtomic writes via temp file + rename so a crash mid-write never
+// leaves a truncated checkpoint where a resume would find it.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // finish moves a job to its terminal state and wakes waiters.
@@ -359,6 +436,13 @@ func (s *Server) snapshotLocked(j *job) JobStatus {
 func (s *Server) count(name string) {
 	s.cmu.Lock()
 	s.counters.Inc(name)
+	s.cmu.Unlock()
+}
+
+// countN adds n to a service counter.
+func (s *Server) countN(name string, n uint64) {
+	s.cmu.Lock()
+	s.counters.Add(name, n)
 	s.cmu.Unlock()
 }
 

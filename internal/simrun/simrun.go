@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"pinnedloads/internal/arch"
+	"pinnedloads/internal/checkpoint"
 	"pinnedloads/internal/core"
 	"pinnedloads/internal/defense"
 	"pinnedloads/internal/obs"
@@ -37,6 +38,30 @@ type Params struct {
 	// TraceBuffer, when positive, records the structured event stream into
 	// a ring of that capacity; Output.Events holds it.
 	TraceBuffer int
+
+	// CheckpointEvery, when positive, snapshots the full simulator state
+	// roughly every that many cycles (at the cycle-loop's existing poll
+	// boundary, so zero leaves the hot loop untouched) and hands the
+	// encoded checkpoint to CheckpointSink. A sink error aborts the run.
+	CheckpointEvery int64
+	CheckpointSink  func([]byte) error
+	// CheckpointIdentity is a free-form label stored in checkpoint
+	// metadata (job ID, spec key); it is informational only.
+	CheckpointIdentity string
+
+	// WarmupSink, when set, receives one checkpoint captured exactly at
+	// the warmup/measure boundary — the shared-warmup fork point.
+	WarmupSink func([]byte)
+
+	// Resume, when non-empty, restores the simulator from an encoded
+	// checkpoint before running. The checkpoint's configuration/policy
+	// fingerprint must match or Execute fails with the typed mismatch
+	// error. Resuming changes only where execution starts, never the
+	// Output: a resumed run is byte-identical to a cold one.
+	Resume []byte
+	// OnResume, when set alongside Resume, observes the restored
+	// checkpoint's metadata (e.g. to report how many cycles were skipped).
+	OnResume func(checkpoint.Meta)
 }
 
 // HW is the per-core Pinned Loads hardware summary of a finished run
@@ -92,6 +117,31 @@ func Execute(ctx context.Context, w trace.Source, pol defense.Policy, cfg *arch.
 	if p.TraceBuffer > 0 {
 		ring = obs.NewRing(p.TraceBuffer)
 		sys.SetRecorder(ring)
+	}
+	if len(p.Resume) > 0 {
+		meta, err := checkpoint.Restore(p.Resume, sys)
+		if err != nil {
+			return nil, fmt.Errorf("simrun: %s %s: resume: %w", w.Name(), pol, err)
+		}
+		if p.OnResume != nil {
+			p.OnResume(meta)
+		}
+	}
+	if p.CheckpointEvery > 0 && p.CheckpointSink != nil {
+		sys.SetCheckpointHook(p.CheckpointEvery, func() error {
+			b, err := checkpoint.Capture(sys, p.CheckpointIdentity)
+			if err != nil {
+				return err
+			}
+			return p.CheckpointSink(b)
+		})
+	}
+	if p.WarmupSink != nil {
+		sys.SetWarmupHook(func() {
+			if b, err := checkpoint.Capture(sys, p.CheckpointIdentity); err == nil {
+				p.WarmupSink(b)
+			}
+		})
 	}
 	res, err := sys.RunContext(ctx, p.Warmup, p.Measure)
 	if err != nil {

@@ -1,0 +1,16 @@
+package tracefile
+
+import "pinnedloads/internal/ckptio"
+
+// SaveState serializes a replay generator's cursors (the streams themselves
+// are the trace file, reconstructed on restore).
+func (g *replayGen) SaveState(e *ckptio.Encoder) {
+	e.Int(g.pos)
+	e.Int(g.wrongPos)
+}
+
+// LoadState restores a replay generator built from the same trace.
+func (g *replayGen) LoadState(d *ckptio.Decoder) {
+	g.pos = d.Int()
+	g.wrongPos = d.Int()
+}

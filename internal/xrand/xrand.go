@@ -29,6 +29,13 @@ func (r *RNG) Derive(label uint64) *RNG {
 	return &c
 }
 
+// State returns the generator's internal state, for checkpointing. A
+// generator restored with SetState continues the identical stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured with State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -30,6 +30,7 @@ import (
 	"reflect"
 
 	"pinnedloads/internal/arch"
+	"pinnedloads/internal/checkpoint"
 	"pinnedloads/internal/core"
 	"pinnedloads/internal/defense"
 	"pinnedloads/internal/isa"
@@ -181,6 +182,32 @@ type RunSpec struct {
 	// Result.Snapshots — a time series of the run instead of only the
 	// final totals.
 	MetricsInterval int64
+
+	// CheckpointEvery, when positive, captures a complete simulator
+	// checkpoint roughly every that many cycles and hands the encoded
+	// bytes to CheckpointSink. Checkpoints are taken only at the cycle
+	// loop's existing poll boundary (every 4096 cycles), so the zero
+	// value adds no hot-loop cost. A sink error aborts the run.
+	CheckpointEvery int64
+	CheckpointSink  func([]byte) error
+
+	// ResumeFrom, when non-empty, restores the simulation from a
+	// checkpoint previously produced by CheckpointSink before running.
+	// The checkpoint must come from an identical spec (same workload,
+	// configuration, scheme and variant) or Run fails with a mismatch
+	// error. A resumed run produces results byte-identical to an
+	// uninterrupted one.
+	ResumeFrom []byte
+}
+
+// CheckpointMeta is the metadata stored in an encoded checkpoint.
+type CheckpointMeta = checkpoint.Meta
+
+// CheckpointInfo decodes a checkpoint's metadata (identity label, cycle
+// number, configuration fingerprint) without restoring it.
+func CheckpointInfo(data []byte) (CheckpointMeta, error) {
+	m, _, err := checkpoint.Decode(data)
+	return m, err
 }
 
 // Result is the outcome of one run.
@@ -249,6 +276,24 @@ func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 		sys.SetRecorder(ring)
 	}
 	sys.SampleEvery(spec.MetricsInterval)
+	if len(spec.ResumeFrom) > 0 {
+		if _, err := checkpoint.Restore(spec.ResumeFrom, sys); err != nil {
+			return Result{}, err
+		}
+	}
+	if spec.CheckpointEvery > 0 && spec.CheckpointSink != nil {
+		identity := spec.Benchmark
+		if identity == "" && spec.Workload != nil {
+			identity = spec.Workload.Name()
+		}
+		sys.SetCheckpointHook(spec.CheckpointEvery, func() error {
+			b, err := checkpoint.Capture(sys, identity)
+			if err != nil {
+				return err
+			}
+			return spec.CheckpointSink(b)
+		})
+	}
 	res, err := sys.RunContext(ctx, warmup, measure)
 	if err != nil {
 		return Result{}, err

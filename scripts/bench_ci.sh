@@ -26,8 +26,8 @@ trap 'rm -f "$out"' EXIT
 echo "--- building bench_diff"
 go build -o /tmp/bench_diff ./cmd/bench_diff
 
-echo "--- running CoreCycle benchmarks (benchtime=$benchtime count=$count)"
-go test ./internal/core -run '^$' -bench 'BenchmarkCoreCycle' \
+echo "--- running CoreCycle + Checkpoint benchmarks (benchtime=$benchtime count=$count)"
+go test ./internal/core -run '^$' -bench 'BenchmarkCoreCycle|BenchmarkCheckpoint' \
     -benchtime "$benchtime" -count "$count" | tee "$out"
 
 if [ "${1:-}" = "rebaseline" ]; then

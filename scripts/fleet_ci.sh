@@ -4,8 +4,12 @@
 # plbench's comma-separated -server list, SIGKILL one daemon once it has
 # demonstrably executed part of the sweep, and assert the sweep still
 # completes with CSV output byte-identical to an in-process (no-server)
-# run — at-least-once dispatch, exactly-once results. Run from the
-# repository root; CI runs it after the unit tiers.
+# run — at-least-once dispatch, exactly-once results. The daemons share a
+# checkpoint directory, so a killed backend's in-flight job resumes from
+# its last checkpoint when resubmitted to a survivor; a dedicated phase
+# asserts that via /metrics (resumed_jobs >= 1, 0 < resumed_cycles <
+# total) and that plctl wait surfaces a lost job with exit code 3. Run
+# from the repository root; CI runs it after the unit tiers.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -21,7 +25,8 @@ go build -o "$workdir/plserved" ./cmd/plserved
 go build -o "$workdir/plbench" ./cmd/plbench
 go build -o "$workdir/plctl" ./cmd/plctl
 
-echo "--- starting three plserved daemons"
+echo "--- starting three plserved daemons (shared checkpoint dir)"
+mkdir -p "$workdir/ckpt"
 servers=()
 for i in 0 1 2; do
     "$workdir/plserved" \
@@ -29,6 +34,8 @@ for i in 0 1 2; do
         -addr-file "$workdir/addr$i" \
         -workers 2 \
         -cache-dir "$workdir/cache$i" \
+        -checkpoint-dir "$workdir/ckpt" \
+        -checkpoint-every 50000 \
         2>"$workdir/plserved$i.log" &
     pids+=($!)
     disown $! # keep the later SIGKILL out of the shell's job reports
@@ -93,5 +100,51 @@ for i in 0 1; do
         | awk -F= '$1 == "svc.submitted" { print $2 }')
     [ "${sub:-0}" -ge 1 ] || { echo "backend $i saw no submissions"; exit 1; }
 done
+
+echo "--- deterministic resume: long job, SIGKILL mid-run, resume on a survivor"
+json_field() { sed -n "s/.*\"$1\": *\"\{0,1\}\([^\",]*\)\"\{0,1\}.*/\1/p" | head -1; }
+submit_flags=(-bench mcf_r -scheme dom -variant lp -warmup 1 -measure 500000)
+id=$("$workdir/plctl" -server "${servers[0]}" submit "${submit_flags[@]}" \
+    | json_field id)
+[ -n "$id" ] || { echo "long-job submit returned no job ID"; exit 1; }
+echo "    job $id running on backend 0"
+
+for _ in $(seq 1 300); do
+    [ -s "$workdir/ckpt/$id.ckpt" ] && break
+    kill -0 "${pids[0]}" || { echo "backend 0 died before checkpointing"; exit 1; }
+    sleep 0.1
+done
+[ -s "$workdir/ckpt/$id.ckpt" ] || { echo "job never persisted a checkpoint"; exit 1; }
+
+echo "--- SIGKILL backend 0 with the job mid-run"
+kill -9 "${pids[0]}"
+
+echo "--- plctl wait against a survivor that lost the job must exit 3"
+set +e
+"$workdir/plctl" -server "${servers[1]}" wait "$id" >/dev/null 2>"$workdir/wait.err"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "plctl wait exited $rc, want 3 (job lost)"; cat "$workdir/wait.err"; exit 1; }
+grep -q "resubmit" "$workdir/wait.err" || { echo "lost-job message does not suggest resubmitting"; exit 1; }
+
+echo "--- resubmitting to the survivor: must resume from the checkpoint"
+"$workdir/plctl" -server "${servers[1]}" submit "${submit_flags[@]}" -wait \
+    >"$workdir/resumed.json"
+total=$(json_field cycles <"$workdir/resumed.json")
+[ "${total:-0}" -gt 0 ] || { echo "resumed job reported no cycles"; exit 1; }
+
+resumed_jobs=$("$workdir/plctl" -server "${servers[1]}" metrics \
+    | awk -F= '$1 == "svc.resumed_jobs" { print $2 }')
+resumed_cycles=$("$workdir/plctl" -server "${servers[1]}" metrics \
+    | awk -F= '$1 == "svc.resumed_cycles" { print $2 }')
+[ "${resumed_jobs:-0}" -ge 1 ] || { echo "survivor resumed no jobs (svc.resumed_jobs=$resumed_jobs)"; exit 1; }
+# The resume point must be a real mid-run cycle: after the start, before
+# the end (total + slack for the 1-instruction warmup prefix).
+if [ "${resumed_cycles:-0}" -le 0 ] || [ "$resumed_cycles" -ge $((total + 10000)) ]; then
+    echo "svc.resumed_cycles=$resumed_cycles not in (0, $total): job did not resume mid-run"
+    exit 1
+fi
+echo "    resumed from cycle $resumed_cycles of $total"
+[ ! -e "$workdir/ckpt/$id.ckpt" ] || { echo "checkpoint not cleaned up after success"; exit 1; }
 
 echo "fleet integration: OK"
