@@ -12,6 +12,10 @@
 //	wait     block until a job finishes, then print it
 //	trace    download a done job's Chrome trace JSON
 //	metrics  print the server's counters
+//	cache    cache probe <speckey>: ask the backend's /v1/cache peering
+//	         endpoint whether it holds the key locally; prints hit (with
+//	         the entry's encoded size) or miss. Exits 0 on a hit, 2 on a
+//	         miss — for debugging fleet cache peering per backend.
 //	fleet    fleet-wide operations over a comma-separated -server list:
 //	         fleet status | fleet metrics | fleet drain
 //
@@ -21,6 +25,7 @@
 //	plctl submit -bench gcc_r -trace-buf 4096 -wait
 //	plctl trace -o trace.json <job-id>
 //	plctl get <job-id>
+//	plctl cache probe <speckey>
 //	plctl -server http://h1:8321,http://h2:8321 fleet status
 package main
 
@@ -87,15 +92,44 @@ func run(args []string) error {
 		return cmdTrace(ctx, c, rest)
 	case "metrics":
 		return cmdMetrics(ctx, c)
+	case "cache":
+		return cmdCache(ctx, c, rest)
 	default:
 		global.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
+// exitCacheMiss is the documented exit code for `cache probe` on a miss,
+// so scripts can branch on presence without parsing output.
+const exitCacheMiss = 2
+
+// cmdCache handles the cache subcommands; today only probe, the operator
+// view into fleet cache peering: it asks one backend's /v1/cache endpoint
+// (HEAD, no transfer) whether the key is in its local tiers.
+func cmdCache(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 || args[0] != "probe" {
+		return fmt.Errorf("cache: want `cache probe <speckey>`")
+	}
+	key, err := jobID("cache probe", args[1:])
+	if err != nil {
+		return err
+	}
+	hit, size, err := c.CacheProbe(ctx, key)
+	if err != nil {
+		return err
+	}
+	if !hit {
+		fmt.Printf("miss %s\n", key)
+		os.Exit(exitCacheMiss)
+	}
+	fmt.Printf("hit %s bytes=%d\n", key, size)
+	return nil
+}
+
 func usage(fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(os.Stderr, "usage: plctl [-server URL[,URL...]] <submit|get|wait|trace|metrics|fleet> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: plctl [-server URL[,URL...]] <submit|get|wait|trace|metrics|cache|fleet> [flags]")
 		fs.PrintDefaults()
 	}
 }

@@ -9,14 +9,24 @@
 //	plserved -cache-dir /var/cache/pl         # persist results across restarts
 //	plserved -workers 8 -queue 256            # sizing
 //	plserved -job-timeout 10m                 # bound each simulation
+//	plserved -peers http://h2:8321,http://h3:8321   # probe sibling caches
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace,
-// GET /healthz, GET /metrics. Submissions are idempotent: a job's ID is
-// the content-addressed digest of its normalized spec, so resubmitting an
-// identical spec attaches to the existing job or its cached result. When
-// the queue is full the server answers 429 with a Retry-After hint. On
-// SIGTERM/SIGINT it stops accepting work, finishes what is queued (up to
-// -drain-timeout), and exits 0.
+// GET /v1/cache/{key} (HEAD probes), GET /healthz, GET /metrics.
+// Submissions are idempotent: a job's ID is the content-addressed digest
+// of its normalized spec, so resubmitting an identical spec attaches to
+// the existing job or its cached result. When the queue is full the
+// server answers 429 with a Retry-After hint. On SIGTERM/SIGINT it stops
+// accepting work, finishes what is queued (up to -drain-timeout), and
+// exits 0.
+//
+// With -peers, a job that misses the local cache probes each sibling's
+// /v1/cache endpoint — owner-first along the same consistent-hash ring
+// the client fleet routes by — before simulating, so a result any
+// backend in the fleet has already computed is fetched instead of
+// re-executed. The peer list should name the siblings by the same URLs
+// the fleet's clients use, and must not include this daemon's own
+// address (it is filtered out if it does).
 package main
 
 import (
@@ -27,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pinnedloads/internal/fleet"
 	"pinnedloads/internal/service"
 	"pinnedloads/internal/simcache"
 )
@@ -47,6 +59,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "max time to finish queued jobs on shutdown")
 		ckptDir      = flag.String("checkpoint-dir", "", "persist per-job checkpoints to this directory; resubmitted jobs resume from them after a crash")
 		ckptEvery    = flag.Int64("checkpoint-every", 0, "cycles between persisted checkpoints (0 = default 500k)")
+		peers        = flag.String("peers", "", "comma-separated sibling plserved base URLs whose caches are probed on a local miss")
+		peerTimeout  = flag.Duration("peer-timeout", 500*time.Millisecond, "per-peer cache probe timeout")
 	)
 	flag.Parse()
 
@@ -63,13 +77,13 @@ func main() {
 		RetryAfter:      *retryAfter,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
-	}, *cacheDir, *cacheEntries, *drainTimeout); err != nil {
+	}, *cacheDir, *cacheEntries, *drainTimeout, *peers, *peerTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "plserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, opt service.Options, cacheDir string, cacheEntries int, drainTimeout time.Duration) error {
+func run(addr, addrFile string, opt service.Options, cacheDir string, cacheEntries int, drainTimeout time.Duration, peers string, peerTimeout time.Duration) error {
 	// Memory in front, disk behind (when asked for): warm lookups stay
 	// off the filesystem, results survive restarts.
 	mem := simcache.NewMemory(cacheEntries)
@@ -82,9 +96,9 @@ func run(addr, addrFile string, opt service.Options, cacheDir string, cacheEntri
 		opt.Cache = simcache.NewTiered(mem, disk)
 	}
 
-	s := service.New(opt)
-	s.Start()
-
+	// Listen before building the server: the bound address is this
+	// daemon's identity on the peering ring (and must be excluded from
+	// its own probe list).
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -92,10 +106,45 @@ func run(addr, addrFile string, opt service.Options, cacheDir string, cacheEntri
 	bound := ln.Addr().String()
 	if addrFile != "" {
 		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
 			return err
 		}
 	}
 	fmt.Fprintf(os.Stderr, "plserved: listening on %s\n", bound)
+
+	if peerList := fleet.ParseBackends(peers); len(peerList) > 0 {
+		self := "http://" + bound
+		siblings := peerList[:0]
+		for _, p := range peerList {
+			if strings.TrimRight(p, "/") != self {
+				siblings = append(siblings, p)
+			}
+		}
+		if len(siblings) > 0 {
+			// Rank probes along the same consistent-hash ring the client
+			// fleet routes by, over the full membership (siblings + self),
+			// so the key's owner is asked first. Self is in the ring for
+			// correct ownership but never probed.
+			ring := fleet.NewRing(append(append([]string{}, siblings...), self), 0)
+			opt.Peers = siblings
+			opt.PeerTimeout = peerTimeout
+			opt.PeerRank = func(key string) []string {
+				order := ring.Order(key)
+				out := make([]string, 0, len(order)-1)
+				for _, a := range order {
+					if a != self {
+						out = append(out, a)
+					}
+				}
+				return out
+			}
+			fmt.Fprintf(os.Stderr, "plserved: peering with %s (probe timeout %s)\n",
+				strings.Join(siblings, ","), peerTimeout)
+		}
+	}
+
+	s := service.New(opt)
+	s.Start()
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)

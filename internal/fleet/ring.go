@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 )
 
 // ring is a consistent-hash ring over backend addresses. Each backend
@@ -58,6 +59,43 @@ func newRing(addrs []string, replicas int) *ring {
 		return r.points[a].idx < r.points[b].idx // stable on (unlikely) collisions
 	})
 	return r
+}
+
+// Ring is the exported consistent-hash ring: the same hashing, virtual
+// nodes and walk order the fleet router uses, for components outside this
+// package that must agree with its placement. plserved builds one over
+// the whole fleet membership (its peers plus itself) to order cache-peer
+// probes owner-first — the backend the client router would have sent a
+// key to is the one most likely to hold its result.
+type Ring struct {
+	r     *ring
+	addrs []string
+}
+
+// NewRing builds a ring over backend base URLs. Addresses are normalized
+// the way fleet.New normalizes its Backends (trimmed, no trailing slash)
+// so a plserved-side ring and a client-side ring built from the same list
+// agree point for point. replicas <= 0 uses the router's default (64).
+func NewRing(addrs []string, replicas int) *Ring {
+	clean := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+			clean = append(clean, a)
+		}
+	}
+	return &Ring{r: newRing(clean, replicas), addrs: clean}
+}
+
+// Order returns the addresses in ring walk order for the key: the owner
+// first, then each distinct successor — the same candidate sequence the
+// fleet router routes and fails over along.
+func (r *Ring) Order(key string) []string {
+	idxs := r.r.candidates(key)
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = r.addrs[idx]
+	}
+	return out
 }
 
 // candidates returns every backend index in ring walk order for the key:

@@ -93,3 +93,35 @@ func TestRingDeterministicAcrossConstructions(t *testing.T) {
 		}
 	}
 }
+
+// TestExportedRingMatchesRouter checks the exported Ring gives exactly
+// the walk order the internal router uses, with fleet.New-style address
+// normalization — the property plserved's owner-first peer probing
+// depends on to agree with client-side placement.
+func TestExportedRingMatchesRouter(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	messy := []string{" http://a:1/ ", "http://b:1", "", "http://c:1/"}
+	internal := newRing(addrs, 64)
+	exported := NewRing(messy, 0)
+	for _, k := range keys(300) {
+		want := internal.candidates(k)
+		got := exported.Order(k)
+		if len(got) != len(want) {
+			t.Fatalf("key %s: Order returned %d addrs, want %d", k, len(got), len(want))
+		}
+		for i, idx := range want {
+			if got[i] != addrs[idx] {
+				t.Fatalf("key %s: Order[%d] = %s, router wants %s", k, i, got[i], addrs[idx])
+			}
+		}
+	}
+}
+
+// TestExportedRingEmpty checks a ring over no usable addresses returns
+// an empty order rather than panicking.
+func TestExportedRingEmpty(t *testing.T) {
+	r := NewRing([]string{"", "   "}, 0)
+	if got := r.Order("anything"); len(got) != 0 {
+		t.Fatalf("empty ring returned order %v", got)
+	}
+}

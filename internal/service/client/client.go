@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"pinnedloads/internal/service"
+	"pinnedloads/internal/simcache"
 	"pinnedloads/internal/simrun"
 	"pinnedloads/internal/vclock"
 )
@@ -278,6 +280,75 @@ func (c *Client) Run(ctx context.Context, spec service.JobSpec) (*simrun.Output,
 		return nil, c.wrap(&JobError{Backend: c.Base, ID: st.ID, Message: st.Error})
 	}
 	return st.Result, nil
+}
+
+// CacheProbe asks whether the backend's local result cache holds key
+// (HEAD /v1/cache/{key}) without transferring the entry; size is the
+// entry's encoded byte count on a hit. One round trip, no retries — this
+// is an operator's debugging probe, not a data path.
+func (c *Client) CacheProbe(ctx context.Context, key string) (hit bool, size int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead,
+		c.Base+"/v1/cache/"+url.PathEscape(key), nil)
+	if err != nil {
+		return false, 0, c.wrap(err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return false, 0, c.wrap(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, resp.ContentLength, nil
+	case http.StatusNotFound:
+		return false, 0, nil
+	default:
+		return false, 0, c.wrap(&StatusError{Code: resp.StatusCode,
+			Message: resp.Status})
+	}
+}
+
+// CacheGet fetches a cached result straight from the backend's local
+// cache (GET /v1/cache/{key}), verifying the checksummed envelope before
+// trusting it. A missing key and a corrupt response are both (nil, false,
+// nil)-style misses — the latter also carries the decode error so a
+// debugging caller can see why.
+func (c *Client) CacheGet(ctx context.Context, key string) (*simrun.Output, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/v1/cache/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, false, c.wrap(err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, false, c.wrap(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, c.wrap(err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, nil
+	case resp.StatusCode != http.StatusOK:
+		return nil, false, c.wrap(&StatusError{Code: resp.StatusCode,
+			Message: strings.TrimSpace(string(data))})
+	}
+	out, err := simcache.DecodeEnvelope(data)
+	if err != nil {
+		return nil, false, c.wrap(err)
+	}
+	return out, true, nil
 }
 
 // Trace downloads a done job's Chrome trace JSON.

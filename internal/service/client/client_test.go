@@ -352,3 +352,62 @@ func TestWaitJobLost(t *testing.T) {
 		t.Fatalf("gets = %d, want exactly 3 (no polling after the loss)", gets.Load())
 	}
 }
+
+// TestCacheProbeAndGet exercises the peering-endpoint helpers against a
+// real service: HEAD reports hit + encoded size without a transfer, GET
+// verifies the envelope, and both report a clean miss for unknown keys.
+func TestCacheProbeAndGet(t *testing.T) {
+	s := service.New(service.Options{Workers: 1})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	c := fastClient(ts.URL)
+	ctx := context.Background()
+	spec := service.JobSpec{Benchmark: "gcc_r", Scheme: "fence", Variant: "ep",
+		Warmup: 200, Measure: 1000}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	hit, size, err := c.CacheProbe(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || size <= 0 {
+		t.Fatalf("probe of a cached key: hit=%v size=%d", hit, size)
+	}
+	out, ok, err := c.CacheGet(ctx, st.ID)
+	if err != nil || !ok {
+		t.Fatalf("CacheGet: ok=%v err=%v", ok, err)
+	}
+	if out.CPI != st.Result.CPI {
+		t.Fatalf("CacheGet CPI = %v, want %v", out.CPI, st.Result.CPI)
+	}
+
+	if hit, _, err := c.CacheProbe(ctx, "nosuchkey"); err != nil || hit {
+		t.Fatalf("probe of an unknown key: hit=%v err=%v", hit, err)
+	}
+	if _, ok, err := c.CacheGet(ctx, "nosuchkey"); err != nil || ok {
+		t.Fatalf("CacheGet of an unknown key: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCacheGetRejectsCorruptEnvelope serves garbage where the envelope
+// belongs: CacheGet must report the defect as an error, never a hit.
+func TestCacheGetRejectsCorruptEnvelope(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("definitely not an envelope"))
+	}))
+	defer fake.Close()
+	c := fastClient(fake.URL)
+	if out, ok, err := c.CacheGet(context.Background(), "k"); err == nil || ok || out != nil {
+		t.Fatalf("corrupt envelope: out=%v ok=%v err=%v, want decode error", out, ok, err)
+	}
+}

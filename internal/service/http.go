@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"pinnedloads/internal/obs"
+	"pinnedloads/internal/simcache"
 )
 
 // apiError is the JSON body of every non-2xx response.
@@ -22,6 +23,9 @@ type apiError struct {
 //	                         503 draining
 //	GET  /v1/jobs/{id}       job status (404 unknown)
 //	GET  /v1/jobs/{id}/trace Chrome trace of a done job's event stream
+//	GET  /v1/cache/{key}     local cached result as a checksummed envelope
+//	                         (404 not cached here); HEAD probes existence
+//	                         and size without the body
 //	POST /v1/drain           stop accepting jobs, finish what is queued
 //	GET  /healthz            liveness (503 once draining)
 //	GET  /metrics            service counters as name=value lines
@@ -30,10 +34,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCache)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleCache is the peering endpoint: it serves this backend's local
+// cache (memory+disk tiers only — never its own peer tier, so probes
+// cannot recurse across the fleet) in the same checksummed envelope
+// encoding the disk backend stores. The prober verifies the checksum
+// before trusting the bytes, so a torn response is a miss, not a poison.
+// Registering GET also serves HEAD, which answers with the entry's size
+// and no body — what `plctl cache probe` uses.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	out, ok, err := s.local.Get(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: cache read: %w", err))
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no cached result for %q", key))
+		return
+	}
+	data, err := simcache.EncodeEnvelope(out)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	s.count("svc.peer_served")
+	w.Write(data)
 }
 
 // handleDrain takes the server out of rotation: it stops accepting new

@@ -20,8 +20,28 @@ var updateMetricsGolden = flag.Bool("update-metrics", false,
 // sequence against a fixed-size server must render byte-identical,
 // stably ordered name=value lines. Fleet aggregation and the CI scripts
 // parse this output, so accidental renames or reordering are breakage.
+// The server under test peers with an upstream sibling so the golden also
+// pins the svc.peer_* counter family (probes, hits, served).
 func TestMetricsGolden(t *testing.T) {
-	s := service.New(service.Options{Workers: 2, QueueDepth: 8})
+	// Upstream sibling: warm for job A, so the golden server's first
+	// submit is a peer hit instead of an execution.
+	up := service.New(service.Options{Workers: 1})
+	up.Start()
+	upTS := httptest.NewServer(up.Handler())
+	defer func() {
+		upTS.Close()
+		up.Close()
+	}()
+	warmSpec := service.JobSpec{Benchmark: "gcc_r", Scheme: "fence", Variant: "ep",
+		Warmup: 200, Measure: 1000}
+	if st, err := up.Submit(&warmSpec); err != nil {
+		t.Fatal(err)
+	} else if _, err := up.Wait(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	s := service.New(service.Options{Workers: 2, QueueDepth: 8,
+		Peers: []string{upTS.URL}})
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
@@ -37,8 +57,9 @@ func TestMetricsGolden(t *testing.T) {
 		}
 		return st
 	}
-	// Two distinct jobs, then a duplicate of the first: exercises the
-	// executed, completed and dedup counters deterministically.
+	// Job A is warm on the peer (probe + hit + cache hit), job B is cold
+	// everywhere (two probe rounds: submit and pre-execute; then one
+	// execution), then a duplicate of A exercises dedup.
 	a := submit(service.JobSpec{Benchmark: "gcc_r", Scheme: "fence", Variant: "ep",
 		Warmup: 200, Measure: 1000})
 	b := submit(service.JobSpec{Benchmark: "gcc_r", Warmup: 200, Measure: 1000})
@@ -49,6 +70,16 @@ func TestMetricsGolden(t *testing.T) {
 	}
 	submit(service.JobSpec{Benchmark: "gcc_r", Scheme: "fence", Variant: "ep",
 		Warmup: 200, Measure: 1000})
+	// One served peer probe (B is cached locally by now) and one clean
+	// miss, which must not count.
+	for _, key := range []string{b.ID, "nosuchkey"} {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {

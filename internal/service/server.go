@@ -46,8 +46,24 @@ type Options struct {
 	// RetryAfter is the backoff hint returned with queue-full rejections
 	// (default 2s).
 	RetryAfter time.Duration
-	// Cache stores results by job ID (default: unbounded in-memory).
+	// Cache stores results by job ID (default: unbounded in-memory). This
+	// is the server's *local* cache: the /v1/cache peering endpoint serves
+	// it directly, and when Peers is set it becomes the fast tier over the
+	// peer probe backend.
 	Cache simcache.Cache
+	// Peers lists sibling plserved base URLs whose /v1/cache endpoints are
+	// probed on a local miss before executing a job. A warm result
+	// anywhere in the fleet then serves as a network hit here — fleet-wide
+	// exactly-once execution. Probes fail open: a dead, slow or corrupt
+	// peer is a miss, and the job computes locally.
+	Peers []string
+	// PeerTimeout bounds each individual peer probe (default 500ms).
+	PeerTimeout time.Duration
+	// PeerRank orders the peers probed for a key — owner-first when built
+	// from the fleet's consistent-hash ring (see fleet.NewRing), so the
+	// backend most likely to hold the key is asked first. Defaults to the
+	// configured Peers order.
+	PeerRank func(key string) []string
 	// CheckpointDir, when set, persists a periodic checkpoint per running
 	// job to <dir>/<jobID>.ckpt (written atomically, deleted on success).
 	// A resubmitted job whose checkpoint survives — e.g. after the backend
@@ -70,8 +86,13 @@ var (
 // Create with New, start with Start, serve its API via Handler, stop with
 // Drain (graceful) and/or Close (abandon in-flight work).
 type Server struct {
-	opt   Options
+	opt Options
+	// cache is what jobs read and write: the local cache, tiered over the
+	// peer probe backend when peering is configured.
 	cache simcache.Cache
+	// local is the local tiers only — what /v1/cache serves, so one
+	// backend's probe can never recurse into another probe.
+	local simcache.Cache
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -123,19 +144,30 @@ func New(opt Options) *Server {
 	if opt.CheckpointDir != "" && opt.CheckpointEvery <= 0 {
 		opt.CheckpointEvery = 500_000
 	}
-	cache := opt.Cache
-	if cache == nil {
-		cache = simcache.NewMemory(0)
+	local := opt.Cache
+	if local == nil {
+		local = simcache.NewMemory(0)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opt:     opt,
-		cache:   cache,
+		cache:   local,
+		local:   local,
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, opt.QueueDepth),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	if len(opt.Peers) > 0 {
+		peer := simcache.NewPeer(opt.Peers)
+		peer.Timeout = opt.PeerTimeout
+		peer.Rank = opt.PeerRank
+		peer.Counter = func(name string) { s.count("svc." + name) }
+		// Local tiers in front, peers behind: a peer hit is promoted into
+		// memory+disk by Tiered, so the next read is local.
+		s.cache = simcache.NewTiered(local, peer)
+	}
+	return s
 }
 
 // Start launches the worker pool.

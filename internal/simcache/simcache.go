@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"pinnedloads/internal/simrun"
 )
@@ -89,8 +90,10 @@ func (m *Memory) Len() int {
 	return m.order.Len()
 }
 
-// diskEnvelope is the on-disk entry format: the result bytes plus their
-// digest, so a torn or truncated write is detected on read.
+// diskEnvelope is the checksummed entry format shared by the disk backend
+// and the cache-peering wire protocol: the result bytes plus their digest,
+// so a torn write, a truncated download or a corrupt peer response is
+// detected on read.
 type diskEnvelope struct {
 	Version int             `json:"version"`
 	SHA256  string          `json:"sha256"`
@@ -99,6 +102,47 @@ type diskEnvelope struct {
 
 // diskVersion is bumped when the envelope or Output encoding changes.
 const diskVersion = 1
+
+// EncodeEnvelope wraps a result in the checksummed envelope — the exact
+// bytes the disk backend stores and the /v1/cache peering endpoint serves.
+func EncodeEnvelope(out *simrun.Output) ([]byte, error) {
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(diskEnvelope{
+		Version: diskVersion,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Result:  payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeEnvelope verifies and unwraps an envelope. Any defect — bad JSON,
+// wrong version, checksum mismatch, undecodable payload — is an error;
+// callers treat it as a miss, never as a result.
+func DecodeEnvelope(data []byte) (*simrun.Output, error) {
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("simcache: corrupt envelope: %w", err)
+	}
+	if env.Version != diskVersion {
+		return nil, fmt.Errorf("simcache: envelope version %d, want %d", env.Version, diskVersion)
+	}
+	sum := sha256.Sum256(env.Result)
+	if env.SHA256 != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("simcache: envelope checksum mismatch")
+	}
+	var out simrun.Output
+	if err := json.Unmarshal(env.Result, &out); err != nil {
+		return nil, fmt.Errorf("simcache: corrupt result payload: %w", err)
+	}
+	return &out, nil
+}
 
 // Disk is a crash-safe on-disk cache: one JSON file per key, written to a
 // temp file in the same directory and atomically renamed into place, with
@@ -109,12 +153,37 @@ type Disk struct {
 	dir string
 }
 
+// orphanTmpAge is how stale a put-*.tmp file must be before NewDisk
+// sweeps it. A live Put holds its temp file for milliseconds, so an hour
+// of age means the writer crashed between CreateTemp and Rename; anything
+// younger may belong to a concurrent writer and is left alone.
+const orphanTmpAge = time.Hour
+
 // NewDisk returns a disk cache rooted at dir, creating it if needed.
+// Orphaned temp files from a crash mid-Put are swept on open.
 func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("simcache: %w", err)
 	}
+	sweepOrphanTmp(dir)
 	return &Disk{dir: dir}, nil
+}
+
+// sweepOrphanTmp removes stale put-*.tmp files left behind when a writer
+// crashed between CreateTemp and Rename. Best effort: a sweep failure
+// only leaves garbage files, never affects correctness, so errors are
+// ignored.
+func sweepOrphanTmp(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "put-*.tmp"))
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-orphanTmpAge)
+	for _, p := range matches {
+		if fi, err := os.Stat(p); err == nil && fi.ModTime().Before(cutoff) {
+			os.Remove(p)
+		}
+	}
 }
 
 // path maps a key to its entry file. Keys are hex digests, but guard
@@ -140,22 +209,12 @@ func (d *Disk) Get(key string) (*simrun.Output, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("simcache: %w", err)
 	}
-	var env diskEnvelope
-	if err := json.Unmarshal(data, &env); err != nil {
+	out, err := DecodeEnvelope(data)
+	if err != nil {
 		os.Remove(p)
 		return nil, false, nil
 	}
-	sum := sha256.Sum256(env.Result)
-	if env.Version != diskVersion || env.SHA256 != hex.EncodeToString(sum[:]) {
-		os.Remove(p)
-		return nil, false, nil
-	}
-	var out simrun.Output
-	if err := json.Unmarshal(env.Result, &out); err != nil {
-		os.Remove(p)
-		return nil, false, nil
-	}
-	return &out, true, nil
+	return out, true, nil
 }
 
 // Put writes the entry crash-safely: temp file, fsync, rename.
@@ -164,18 +223,9 @@ func (d *Disk) Put(key string, out *simrun.Output) error {
 	if err != nil {
 		return err
 	}
-	payload, err := json.Marshal(out)
+	data, err := EncodeEnvelope(out)
 	if err != nil {
-		return fmt.Errorf("simcache: %w", err)
-	}
-	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(diskEnvelope{
-		Version: diskVersion,
-		SHA256:  hex.EncodeToString(sum[:]),
-		Result:  payload,
-	})
-	if err != nil {
-		return fmt.Errorf("simcache: %w", err)
+		return err
 	}
 	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
 	if err != nil {

@@ -8,8 +8,14 @@
 # checkpoint directory, so a killed backend's in-flight job resumes from
 # its last checkpoint when resubmitted to a survivor; a dedicated phase
 # asserts that via /metrics (resumed_jobs >= 1, 0 < resumed_cycles <
-# total) and that plctl wait surfaces a lost job with exit code 3. Run
-# from the repository root; CI runs it after the unit tiers.
+# total) and that plctl wait surfaces a lost job with exit code 3. A
+# final phase boots a second fleet with cache peering (-peers) enabled
+# and asserts fleet-wide exactly-once execution: a cold sweep executes
+# each SpecKey exactly once summed across all backends, a warm re-run
+# executes nothing (spilled keys serve over the peer tier), both CSVs
+# byte-match the in-process reference, and plctl cache probe reports
+# hit/miss with the documented exit codes. Run from the repository
+# root; CI runs it after the unit tiers.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -146,5 +152,104 @@ if [ "${resumed_cycles:-0}" -le 0 ] || [ "$resumed_cycles" -ge $((total + 10000)
 fi
 echo "    resumed from cycle $resumed_cycles of $total"
 [ ! -e "$workdir/ckpt/$id.ckpt" ] || { echo "checkpoint not cleaned up after success"; exit 1; }
+
+echo "--- cache peering: fleet-wide exactly-once"
+# Peers must be named at daemon start, so this fleet needs fixed ports:
+# pick a random base, start the trio on base..base+2 with the full list
+# in -peers (each daemon filters itself out), and retry the whole trio
+# on a bind collision.
+peer_pids=()
+peer_cleanup() {
+    for p in "${peer_pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+    peer_pids=()
+}
+started=""
+for attempt in 1 2 3 4 5; do
+    base=$((20000 + RANDOM % 20000))
+    purls=()
+    for i in 0 1 2; do purls+=("http://127.0.0.1:$((base + i))"); done
+    plist="${purls[0]},${purls[1]},${purls[2]}"
+    rm -rf "$workdir/peer" && mkdir -p "$workdir/peer"
+    for i in 0 1 2; do
+        "$workdir/plserved" \
+            -addr "127.0.0.1:$((base + i))" \
+            -addr-file "$workdir/peer/addr$i" \
+            -workers 2 \
+            -cache-dir "$workdir/peer/cache$i" \
+            -peers "$plist" \
+            2>"$workdir/peer/plserved$i.log" &
+        peer_pids+=($!)
+        disown $!
+    done
+    ok=yes
+    for i in 0 1 2; do
+        for _ in $(seq 1 100); do
+            [ -s "$workdir/peer/addr$i" ] && break
+            kill -0 "${peer_pids[$i]}" 2>/dev/null || break
+            sleep 0.1
+        done
+        [ -s "$workdir/peer/addr$i" ] || ok=""
+    done
+    if [ -n "$ok" ]; then
+        started=yes
+        break
+    fi
+    echo "    bind failed near port $base (attempt $attempt), retrying"
+    peer_cleanup
+done
+[ -n "$started" ] || { echo "could not start the peered fleet on free ports"; exit 1; }
+pids+=("${peer_pids[@]}") # covered by the exit trap
+echo "    peered fleet on $plist"
+
+metric_sum() { # metric_sum <counter-name>: summed across the peered fleet
+    local sum=0 v u
+    for u in "${purls[@]}"; do
+        v=$("$workdir/plctl" -server "$u" metrics \
+            | awk -F= -v n="$1" '$1 == n { print $2 }')
+        sum=$((sum + ${v:-0}))
+    done
+    echo "$sum"
+}
+
+echo "--- cold peered sweep: each SpecKey executes exactly once fleet-wide"
+"$workdir/plbench" -quick -fig 7 -server "$plist" -workers 8 \
+    -csv "$workdir/peercold" >/dev/null 2>"$workdir/peercold.err" \
+    || { echo "cold peered sweep failed"; tail -20 "$workdir/peercold.err"; exit 1; }
+# The -quick Figure 7 sweep submits 273 distinct SpecKeys (the count
+# EXPERIMENTS.md documents); any other fleet-wide execution total means
+# a duplicate (or lost) execution.
+cold=$(metric_sum svc.executed)
+[ "$cold" -eq 273 ] || { echo "cold sweep executed $cold jobs fleet-wide, want exactly 273"; exit 1; }
+cmp "$workdir/peercold/figure7.csv" "$workdir/local/figure7.csv" \
+    || { echo "cold peered CSV differs from the in-process run"; exit 1; }
+
+echo "--- warm peered re-run: zero executions, spill served by peers"
+"$workdir/plbench" -quick -fig 7 -server "$plist" -workers 8 \
+    -csv "$workdir/peerwarm" >/dev/null 2>"$workdir/peerwarm.err" \
+    || { echo "warm peered sweep failed"; tail -20 "$workdir/peerwarm.err"; exit 1; }
+warm=$(metric_sum svc.executed)
+[ "$warm" -eq "$cold" ] || { echo "warm re-run executed $((warm - cold)) jobs; peering should serve them all"; exit 1; }
+hits=$(metric_sum svc.peer_hits)
+[ "$hits" -ge 1 ] || { echo "warm re-run produced no peer hits; spill never crossed the peer tier"; exit 1; }
+echo "    0 executions, $hits peer hits"
+cmp "$workdir/peerwarm/figure7.csv" "$workdir/local/figure7.csv" \
+    || { echo "warm peered CSV differs from the in-process run"; exit 1; }
+
+echo "--- plctl cache probe: hit exits 0, miss exits 2"
+probe_id=$("$workdir/plctl" -server "${purls[0]}" submit \
+    -bench gcc_r -scheme fence -variant ep -warmup 200 -measure 1000 -wait \
+    | json_field id)
+[ -n "$probe_id" ] || { echo "probe-job submit returned no job ID"; exit 1; }
+"$workdir/plctl" -server "${purls[0]}" cache probe "$probe_id" >"$workdir/probe.out" \
+    || { echo "cache probe of a cached key failed"; cat "$workdir/probe.out"; exit 1; }
+grep -q "^hit $probe_id bytes=" "$workdir/probe.out" \
+    || { echo "unexpected probe output:"; cat "$workdir/probe.out"; exit 1; }
+set +e
+"$workdir/plctl" -server "${purls[0]}" cache probe nosuchkey >"$workdir/probe_miss.out"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "cache probe of an unknown key exited $rc, want 2"; exit 1; }
+grep -q "^miss nosuchkey" "$workdir/probe_miss.out" \
+    || { echo "unexpected miss output:"; cat "$workdir/probe_miss.out"; exit 1; }
 
 echo "fleet integration: OK"
