@@ -182,8 +182,9 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	var (
 		bench    = fs.String("bench", "", "benchmark proxy name (required)")
-		scheme   = fs.String("scheme", "unsafe", "defense scheme (unsafe, fence, dom, stt)")
+		scheme   = fs.String("scheme", "unsafe", "defense scheme (unsafe, fence, dom, stt, is, rcp)")
 		variant  = fs.String("variant", "comp", "variant (comp, lp, ep, spectre)")
+		consist  = fs.String("consistency", "", "memory consistency model (tso, rc; default tso)")
 		conds    = fs.String("conds", "", "comma-separated VP conditions (ctrl,alias,exception,mcv)")
 		seed     = fs.Uint64("seed", 0, "workload seed (0 = default)")
 		warmup   = fs.Int64("warmup", 0, "warmup instructions per core (0 = default)")
@@ -202,6 +203,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 		Benchmark:   *bench,
 		Scheme:      *scheme,
 		Variant:     *variant,
+		Consistency: *consist,
 		Seed:        *seed,
 		Warmup:      *warmup,
 		Measure:     *measure,

@@ -28,8 +28,9 @@ import (
 func main() {
 	var (
 		bench    = flag.String("bench", "gcc_r", "benchmark proxy name")
-		scheme   = flag.String("scheme", "fence", "defense scheme: unsafe, fence, dom, stt, is")
+		scheme   = flag.String("scheme", "fence", "defense scheme: unsafe, fence, dom, stt, is, rcp")
 		variant  = flag.String("variant", "comp", "configuration: comp, lp, ep, spectre")
+		consist  = flag.String("consistency", "tso", "memory consistency model: tso, rc")
 		warmup   = flag.Int64("warmup", 0, "warmup instructions per core")
 		measure  = flag.Int64("measure", 0, "measured instructions per core")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -89,10 +90,14 @@ func main() {
 	schemes := map[string]pinnedloads.Scheme{
 		"unsafe": pinnedloads.Unsafe, "fence": pinnedloads.Fence,
 		"dom": pinnedloads.DOM, "stt": pinnedloads.STT, "is": pinnedloads.IS,
+		"rcp": pinnedloads.RCP,
 	}
 	variants := map[string]pinnedloads.Variant{
 		"comp": pinnedloads.Comp, "lp": pinnedloads.LP,
 		"ep": pinnedloads.EP, "spectre": pinnedloads.Spectre,
+	}
+	consistencies := map[string]pinnedloads.Consistency{
+		"tso": pinnedloads.TSO, "rc": pinnedloads.RC,
 	}
 	sch, ok := schemes[strings.ToLower(*scheme)]
 	if !ok {
@@ -102,9 +107,13 @@ func main() {
 	if !ok {
 		fatal("unknown variant %q", *variant)
 	}
+	con, ok := consistencies[strings.ToLower(*consist)]
+	if !ok {
+		fatal("unknown consistency model %q", *consist)
+	}
 
 	spec := pinnedloads.RunSpec{
-		Benchmark: *bench, Scheme: sch, Variant: v,
+		Benchmark: *bench, Scheme: sch, Variant: v, Consistency: con,
 		Warmup: *warmup, Measure: *measure, Seed: *seed,
 		MetricsInterval: *metricsInt,
 	}

@@ -144,6 +144,32 @@ func (c *SetAssoc) Install(e *Line, addr uint64, st State) {
 // Invalidate marks the entry invalid.
 func (c *SetAssoc) Invalidate(e *Line) { e.State = Invalid }
 
+// InvalidWay returns an invalid way in the set, or nil if every way holds
+// a valid line. Reversible speculation (the RCP scheme) installs lines
+// only into invalid ways, so no victim is ever evicted on behalf of a
+// speculative access and a squash can restore the array exactly.
+func (c *SetAssoc) InvalidWay(set int) *Line {
+	ws := c.set(set)
+	for i := range ws {
+		if ws[i].State == Invalid {
+			return &ws[i]
+		}
+	}
+	return nil
+}
+
+// InstallQuiet writes a new line into the entry without refreshing its
+// replacement state. The line's recency is set to the minimum so it ranks
+// below every architecturally-touched line: a speculative install must
+// not perturb the replacement order of existing lines, and should be the
+// preferred victim while it remains speculative. Its recency is repaired
+// by Touch when the speculation commits.
+func (c *SetAssoc) InstallQuiet(e *Line, addr uint64, st State) {
+	e.Addr = addr
+	e.State = st
+	e.lru = 0
+}
+
 // ForEach calls fn for every valid line in the array.
 func (c *SetAssoc) ForEach(fn func(e *Line)) {
 	for i := range c.sets {

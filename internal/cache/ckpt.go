@@ -50,6 +50,7 @@ func (m *MSHR) SaveState(e *ckptio.Encoder) {
 		e.U64(en.addr)
 		e.Bool(en.forWrit)
 		e.Bool(en.pinned)
+		e.Bool(en.spec)
 		e.U64(uint64(len(en.waiters)))
 		for _, w := range en.waiters {
 			e.I64(w)
@@ -75,6 +76,7 @@ func (m *MSHR) LoadState(d *ckptio.Decoder) {
 		en.addr = d.U64()
 		en.forWrit = d.Bool()
 		en.pinned = d.Bool()
+		en.spec = d.Bool()
 		nw := d.Count(maxWaiters)
 		en.waiters = en.waiters[:0]
 		for j := 0; j < nw; j++ {

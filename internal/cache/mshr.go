@@ -16,6 +16,7 @@ type mshrEntry struct {
 	addr    uint64
 	forWrit bool
 	pinned  bool
+	spec    bool
 	waiters []int64
 }
 
@@ -70,6 +71,14 @@ func (m *MSHR) Addr(i int) uint64 { return m.entries[i].addr }
 // ForWrite reports whether entry i requests write permission.
 func (m *MSHR) ForWrite(i int) bool { return m.entries[i].forWrit }
 
+// SetSpec marks entry i as a reversible speculative fill (RCP scheme).
+// Spec fills never coalesce with demand requests: the fill may complete
+// statelessly, which a demand waiter must not observe.
+func (m *MSHR) SetSpec(i int, spec bool) { m.entries[i].spec = spec }
+
+// Spec reports whether entry i is a reversible speculative fill.
+func (m *MSHR) Spec(i int) bool { return m.entries[i].spec }
+
 // SetPinned marks entry i's in-flight line as pinned (Early Pinning).
 func (m *MSHR) SetPinned(i int, pinned bool) { m.entries[i].pinned = pinned }
 
@@ -105,6 +114,7 @@ func (m *MSHR) Release(i int) []int64 {
 	}
 	e.used = false
 	e.pinned = false
+	e.spec = false
 	m.free++
 	return e.waiters
 }

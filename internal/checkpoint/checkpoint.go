@@ -26,8 +26,11 @@ import (
 	"pinnedloads/internal/core"
 )
 
-// Version is the current checkpoint format version.
-const Version = 1
+// Version is the current checkpoint format version. Version 2 added the
+// reversible-speculation state (RCP scheme): ROB-entry spec tokens, the
+// L1's spec-transaction journal and MSHR spec flags, and the directory's
+// spec-born line marks.
+const Version = 2
 
 // magic identifies a pinnedloads checkpoint.
 const magic = "PLCK"

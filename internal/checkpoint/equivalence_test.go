@@ -10,7 +10,9 @@ import (
 	"pinnedloads/internal/trace"
 )
 
-// equivalencePolicies covers every scheme family the paper evaluates.
+// equivalencePolicies covers every scheme family the paper evaluates,
+// plus the reversible-rollback scheme (whose in-flight coherence journal
+// must survive a snapshot) and the RC consistency axis.
 var equivalencePolicies = []defense.Policy{
 	{Scheme: defense.Unsafe},
 	{Scheme: defense.Fence, Variant: defense.Comp},
@@ -18,6 +20,10 @@ var equivalencePolicies = []defense.Policy{
 	{Scheme: defense.DOM, Variant: defense.EP},
 	{Scheme: defense.STT, Variant: defense.Comp},
 	{Scheme: defense.IS, Variant: defense.Comp},
+	{Scheme: defense.RCP},
+	{Scheme: defense.RCP, Variant: defense.Spectre},
+	{Scheme: defense.Unsafe, Consistency: defense.RC},
+	{Scheme: defense.RCP, Consistency: defense.RC},
 }
 
 type runOutcome struct {

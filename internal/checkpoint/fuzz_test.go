@@ -3,7 +3,43 @@ package checkpoint
 import (
 	"bytes"
 	"testing"
+
+	"pinnedloads/internal/arch"
+	"pinnedloads/internal/core"
+	"pinnedloads/internal/defense"
+	"pinnedloads/internal/trace"
 )
+
+// specStateBlob captures a real mid-run checkpoint under the given policy
+// so the fuzz corpus includes version-2 payloads carrying reversible-
+// speculation state (spec tokens, the L1 spec journal, directory spec-born
+// marks) and RC-consistency configurations, not just hand-made payloads.
+func specStateBlob(f *testing.F, pol defense.Policy) []byte {
+	f.Helper()
+	atk := &trace.Attack{AttackKind: "spectre_v1", Secret: 1, Iters: 64}
+	sys, err := core.New(arch.PaperConfig(0), pol, atk, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var blob []byte
+	sys.SetCheckpointHook(1_024, func() error {
+		if blob == nil {
+			b, err := Capture(sys, "fuzz-spec")
+			if err != nil {
+				return err
+			}
+			blob = b
+		}
+		return nil
+	})
+	if _, err := sys.Run(0, 500_000); err != nil {
+		f.Fatal(err)
+	}
+	if blob == nil {
+		f.Fatal("attack halted before the first checkpoint interval")
+	}
+	return blob
+}
 
 // FuzzCheckpointDecode hardens the checkpoint format layer the same way
 // FuzzEnvelopeDecode hardens the simcache envelope: arbitrary bytes must
@@ -26,6 +62,10 @@ func FuzzCheckpointDecode(f *testing.F) {
 	badCRC := append([]byte(nil), valid...)
 	badCRC[len(badCRC)-1] ^= 0xff
 	f.Add(badCRC)
+	rcp := specStateBlob(f, defense.Policy{Scheme: defense.RCP})
+	f.Add(rcp)
+	f.Add(rcp[:len(rcp)/2]) // truncated mid-payload, through spec state
+	f.Add(specStateBlob(f, defense.Policy{Scheme: defense.RCP, Consistency: defense.RC}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, payload, err := Decode(data)

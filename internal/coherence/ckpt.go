@@ -142,6 +142,30 @@ func (l *L1) SaveState(e *ckptio.Encoder) {
 	}
 	e.Int(l.portsUsed)
 	e.U64(l.lastFill)
+
+	toks := make([]int64, 0, len(l.spec))
+	for t := range l.spec {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	e.U64(uint64(len(toks)))
+	for _, t := range toks {
+		txn := l.spec[t]
+		e.I64(t)
+		e.U64(txn.line)
+		e.Bool(txn.hit)
+		e.Bool(txn.installed)
+		e.Bool(txn.undoDir)
+	}
+	toks = toks[:0]
+	for t := range l.specAband {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	e.U64(uint64(len(toks)))
+	for _, t := range toks {
+		e.I64(t)
+	}
 }
 
 // LoadState restores an L1 controller built from the same configuration.
@@ -194,6 +218,30 @@ func (l *L1) LoadState(d *ckptio.Decoder) {
 	}
 	l.portsUsed = d.Int()
 	l.lastFill = d.U64()
+
+	clear(l.spec)
+	n = d.Count(maxTxns)
+	for i := 0; i < n; i++ {
+		t := d.I64()
+		var txn specTxn
+		txn.line = d.U64()
+		txn.hit = d.Bool()
+		txn.installed = d.Bool()
+		txn.undoDir = d.Bool()
+		if d.Err() != nil {
+			return
+		}
+		l.spec[t] = txn
+	}
+	clear(l.specAband)
+	n = d.Count(maxTxns)
+	for i := 0; i < n; i++ {
+		t := d.I64()
+		if d.Err() != nil {
+			return
+		}
+		l.specAband[t] = true
+	}
 }
 
 // SaveState serializes a directory/LLC slice: every way's directory state,
@@ -214,6 +262,7 @@ func (d *Dir) SaveState(e *ckptio.Encoder) {
 		e.Int(ln.pendAcks)
 		e.Bool(ln.deferred)
 		e.U8(uint8(ln.fetchKind))
+		e.Bool(ln.specBorn)
 		e.U64(ln.lru)
 	}
 	e.Int(d.demandUsed)
@@ -258,6 +307,7 @@ func (d *Dir) LoadState(dec *ckptio.Decoder) {
 			return
 		}
 		ln.fetchKind = Kind(fk)
+		ln.specBorn = dec.Bool()
 		ln.lru = dec.U64()
 	}
 	d.demandUsed = dec.Int()

@@ -45,7 +45,7 @@ type harness struct {
 	count stats.Counters
 }
 
-func newHarness(t *testing.T, cores int) *harness {
+func newHarness(t testing.TB, cores int) *harness {
 	t.Helper()
 	cfg := arch.PaperConfig(cores)
 	cfg.Prefetch = false // keep protocol tests exact

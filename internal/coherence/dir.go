@@ -37,7 +37,9 @@ type dirLine struct {
 	pendAcks    int    // outstanding recall responses
 	deferred    bool   // a recall response was RecallDefer
 	fetchKind   Kind   // original request kind for a busyFetch line
-	lru         uint64
+	specBorn    bool   // line allocated by a speculative fill (RCP); removed
+	// again by SpecUndo if every speculative reference is squashed
+	lru uint64
 }
 
 // dirCounters holds pre-bound handles for the directory's cycle-path
@@ -49,6 +51,8 @@ type dirCounters struct {
 	dramFetches   *uint64
 	llcEvictions  *uint64
 	retriedEv     *uint64
+	specStateless *uint64
+	specFills     *uint64
 }
 
 func bindDirCounters(ct *stats.Counters) dirCounters {
@@ -59,6 +63,8 @@ func bindDirCounters(ct *stats.Counters) dirCounters {
 		dramFetches:   ct.Handle("coh.dram_fetches"),
 		llcEvictions:  ct.Handle("coh.llc_evictions"),
 		retriedEv:     ct.Handle("coh.retried_evictions"),
+		specStateless: ct.Handle("coh.spec_stateless"),
+		specFills:     ct.Handle("coh.spec_fills"),
 	}
 }
 
@@ -237,6 +243,19 @@ func (d *Dir) dispatch(m Msg) {
 		d.handleGetS(m)
 	case GetSInv:
 		d.handleGetSInv(m)
+	case GetSSpec:
+		// Spec requests bypass admitDemand by design: the reversible
+		// protocol reserves a virtual network for them, so a burst of
+		// speculative accesses cannot delay demand requests — the
+		// directory-port interference channel stays closed.
+		d.handleGetSSpec(m)
+	case SpecUndo:
+		d.handleSpecUndo(m)
+	case SpecCommit:
+		d.handleSpecCommit(m)
+	case MemRespSpec:
+		d.fab.send(Msg{Kind: DataSpecInv, Line: m.Line, Src: d.addr(),
+			Dst: Addr{Idx: m.Requestor}}, 0)
 	case GetX, GetXStar:
 		d.handleGetX(m)
 	case MemResp:
@@ -381,6 +400,97 @@ func (d *Dir) handleGetSInv(m Msg) {
 		Requestor: m.Src.Idx, Token: m.Token}, d.cfg.DRAMCycles)
 }
 
+// handleGetSSpec serves a reversible speculative read (RCP scheme). The
+// directory registers the requestor as a sharer only when the registration
+// is reversible: an LLC hit with no owner sets (at most) one sharer bit,
+// and an LLC miss allocates only an invalid way — evicting or recalling a
+// victim on behalf of speculation would be an irreversible, observable
+// side effect. In every other case the data is served statelessly, like an
+// invisible access. Replacement-state updates are deferred to SpecCommit.
+func (d *Dir) handleGetSSpec(m Msg) {
+	r := m.Src.Idx
+	e := d.lookup(m.Line)
+	if e == nil {
+		ws := d.set(m.Line)
+		var free *dirLine
+		for i := range ws {
+			if !ws[i].valid {
+				free = &ws[i]
+				break
+			}
+		}
+		if free == nil {
+			*d.cnt.specStateless++
+			d.fab.self(Msg{Kind: MemRespSpec, Line: m.Line, Src: d.addr(),
+				Dst: d.addr(), Requestor: r}, d.cfg.DRAMCycles)
+			return
+		}
+		*d.cnt.specFills++
+		free.valid = true
+		free.addr = m.Line
+		free.sharers = 0
+		free.owner = -1
+		free.busy = busyFetch
+		free.busyReq = int8(r)
+		free.busyStar = false
+		free.prevSharers = 0
+		free.fetchKind = GetSSpec
+		free.specBorn = true
+		free.lru = 0 // ranks below every architecturally-touched line
+		d.fab.self(Msg{Kind: MemResp, Line: m.Line, Src: d.addr(), Dst: d.addr(),
+			Requestor: r}, d.cfg.DRAMCycles)
+		return
+	}
+	if e.busy != busyNone {
+		d.nack(m)
+		return
+	}
+	if e.owner >= 0 {
+		// Owned elsewhere: a forward would disturb the owner, so serve the
+		// LLC copy statelessly — nothing to reverse on a squash.
+		*d.cnt.specStateless++
+		d.fab.send(Msg{Kind: DataSpecInv, Line: m.Line, Src: d.addr(),
+			Dst: m.Src}, d.cfg.LLCHitCycles)
+		return
+	}
+	fresh := 0
+	if e.sharers&(1<<uint(r)) == 0 {
+		e.sharers |= 1 << uint(r)
+		fresh = 1
+	}
+	d.fab.send(Msg{Kind: DataSpecS, Line: m.Line, Src: d.addr(), Dst: m.Src,
+		Acks: fresh}, d.cfg.LLCHitCycles)
+}
+
+// handleSpecUndo reverses one core's speculative sharer registration after
+// a squash. Races with demand traffic resolve conservatively: a busy or
+// absent line is left alone (stale sharer bits are already tolerated by
+// the protocol), and a spec-born line is removed only once no reference —
+// speculative or demand — remains.
+func (d *Dir) handleSpecUndo(m Msg) {
+	e := d.lookup(m.Line)
+	if e == nil || e.busy != busyNone {
+		return
+	}
+	e.sharers &^= 1 << uint(m.Src.Idx)
+	if e.specBorn && e.sharers == 0 && e.owner < 0 {
+		e.valid = false
+		e.specBorn = false
+	}
+}
+
+// handleSpecCommit finalizes a speculative registration: the line becomes
+// an ordinary LLC resident and receives the replacement-state update that
+// was deferred at access time.
+func (d *Dir) handleSpecCommit(m Msg) {
+	e := d.lookup(m.Line)
+	if e == nil || e.busy != busyNone {
+		return
+	}
+	e.specBorn = false
+	d.touch(e)
+}
+
 // miss handles a request for a line absent from the LLC: allocate a way
 // (possibly recalling a victim's L1 copies first) and fetch from DRAM.
 func (d *Dir) miss(m Msg) {
@@ -399,6 +509,7 @@ func (d *Dir) miss(m Msg) {
 	e.busy = busyFetch
 	e.busyReq = int8(m.Src.Idx)
 	e.fetchKind = m.Kind
+	e.specBorn = false // ways are reused without clearing the spec mark
 	d.touch(e)
 	d.fab.self(Msg{Kind: MemResp, Line: m.Line, Src: d.addr(), Dst: d.addr(),
 		Requestor: m.Src.Idx}, d.cfg.DRAMCycles)
@@ -420,6 +531,12 @@ func (d *Dir) handleMemResp(m Msg) {
 		e.owner = int8(r)
 		d.fab.send(Msg{Kind: DataX, Line: m.Line, Src: d.addr(),
 			Dst: Addr{Idx: r}, Acks: 0, Star: e.fetchKind == GetXStar}, 0)
+	case GetSSpec:
+		// The spec-born line grants only a reversible shared copy; the
+		// line stays unowned and keeps its spec mark until SpecCommit.
+		e.sharers = 1 << uint(r)
+		d.fab.send(Msg{Kind: DataSpecS, Line: m.Line, Src: d.addr(),
+			Dst: Addr{Idx: r}, Acks: 1}, 0)
 	default:
 		panic("coherence: bad fetch kind")
 	}

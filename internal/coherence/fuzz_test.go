@@ -1,0 +1,74 @@
+package coherence
+
+import (
+	"bytes"
+	"testing"
+
+	"pinnedloads/internal/ckptio"
+)
+
+// specEpisodeBytes captures a System.SaveState blob taken mid-flight
+// through a reversible-speculation episode: committed lines, an abandoned
+// spec install, and a LoadSpec whose fill is still outstanding, so the
+// L1 spec journal, the abandoned-token set and the directory's spec-born
+// marks are all non-empty in the serialized form.
+func specEpisodeBytes(f *testing.F) []byte {
+	f.Helper()
+	h := newHarness(f, 2)
+	h.sys.L1(0).Load(1, 0x40)
+	h.sys.L1(1).Acquire(0x80)
+	h.step(400)
+	h.sys.L1(0).LoadSpec(2, 0x10c0) // spec miss: journaled install
+	h.step(60)
+	h.sys.L1(1).LoadSpec(3, 0x40) // spec access to a line core 0 shares
+	h.step(20)
+	h.sys.L1(0).SpecAbandon(2)
+	h.sys.L1(0).LoadSpec(4, 0x2100)
+	h.step(3) // leave token 4's fill in flight
+	e := ckptio.NewEncoder()
+	h.sys.SaveState(e)
+	return e.Bytes()
+}
+
+// FuzzSpecStateDecode hardens the coherence rollback decoder: arbitrary
+// bytes fed to System.LoadState must never panic or hang — they either
+// fail with a decoder error, or produce a state whose canonical re-save
+// is a fixed point (save(load(b)) == save(load(save(load(b))))). The
+// seed corpus includes a real mid-episode snapshot with live spec
+// journal entries, abandoned tokens and spec-born directory lines, plus
+// truncations and bit flips of it.
+func FuzzSpecStateDecode(f *testing.F) {
+	valid := specEpisodeBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated through the L1 spec maps
+	f.Add(valid[:4])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 128))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := newHarness(t, 2)
+		d := ckptio.NewDecoder(data)
+		h.sys.LoadState(d)
+		if d.Err() != nil {
+			return
+		}
+		e1 := ckptio.NewEncoder()
+		h.sys.SaveState(e1)
+		b1 := e1.Bytes()
+
+		h2 := newHarness(t, 2)
+		d2 := ckptio.NewDecoder(b1)
+		h2.sys.LoadState(d2)
+		if err := d2.Err(); err != nil {
+			t.Fatalf("canonical re-save failed to decode: %v", err)
+		}
+		e2 := ckptio.NewEncoder()
+		h2.sys.SaveState(e2)
+		if !bytes.Equal(e2.Bytes(), b1) {
+			t.Fatal("save/load not a fixed point on canonical bytes")
+		}
+	})
+}

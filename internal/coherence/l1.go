@@ -77,6 +77,17 @@ type pendingFill struct {
 	mshr  int
 }
 
+// specTxn journals the reversible state one speculative load (RCP scheme)
+// created, so a squash can undo exactly that state and a retirement can
+// finalize it. A load whose access completed statelessly journals neither
+// flag: there is nothing to reverse.
+type specTxn struct {
+	line      uint64
+	hit       bool // spec hit on a pre-existing line (commit touches LRU)
+	installed bool // line installed into an invalid L1 way (undo removes it)
+	undoDir   bool // sharer bit newly set at the directory (undo clears it)
+}
+
 // l1Counters holds pre-bound handles for the L1's cycle-path counters
 // (see stats.Counters.Handle).
 type l1Counters struct {
@@ -91,6 +102,11 @@ type l1Counters struct {
 	retriedEvL1     *uint64
 	retriedWrites   *uint64
 	defers          *uint64
+	specHits        *uint64
+	specMisses      *uint64
+	specInstalls    *uint64
+	specCommits     *uint64
+	specRollbacks   *uint64
 }
 
 func bindL1Counters(ct *stats.Counters) l1Counters {
@@ -106,6 +122,11 @@ func bindL1Counters(ct *stats.Counters) l1Counters {
 		retriedEvL1:     ct.Handle("coh.retried_evictions_l1"),
 		retriedWrites:   ct.Handle("coh.retried_writes"),
 		defers:          ct.Handle("coh.defers"),
+		specHits:        ct.Handle("l1.spec_hits"),
+		specMisses:      ct.Handle("l1.spec_misses"),
+		specInstalls:    ct.Handle("l1.spec_installs"),
+		specCommits:     ct.Handle("l1.spec_commits"),
+		specRollbacks:   ct.Handle("l1.spec_rollbacks"),
 	}
 }
 
@@ -134,20 +155,28 @@ type L1 struct {
 	pending   []pendingFill
 	portsUsed int
 	lastFill  uint64 // last demand-fill line, for the next-line prefetcher
+
+	// spec journals completed speculative accesses by token (RCP scheme);
+	// specAband marks tokens squashed while their fill was still in
+	// flight, so the arriving fill is reversed immediately.
+	spec      map[int64]specTxn
+	specAband map[int64]bool
 }
 
 func newL1(id int, cfg *arch.Config, fab *fabric, count *stats.Counters) *L1 {
 	return &L1{
-		id:       id,
-		cfg:      cfg,
-		fab:      fab,
-		count:    count,
-		cnt:      bindL1Counters(count),
-		rec:      obs.Nop,
-		tags:     cache.NewSetAssoc(cfg.L1Sets, cfg.L1Ways),
-		mshr:     cache.NewMSHR(cfg.L1MSHRs),
-		acq:      make(map[uint64]*storeTxn),
-		evictBuf: make(map[uint64]bool),
+		id:        id,
+		cfg:       cfg,
+		fab:       fab,
+		count:     count,
+		cnt:       bindL1Counters(count),
+		rec:       obs.Nop,
+		tags:      cache.NewSetAssoc(cfg.L1Sets, cfg.L1Ways),
+		mshr:      cache.NewMSHR(cfg.L1MSHRs),
+		acq:       make(map[uint64]*storeTxn),
+		evictBuf:  make(map[uint64]bool),
+		spec:      make(map[int64]specTxn),
+		specAband: make(map[int64]bool),
 	}
 }
 
@@ -235,6 +264,12 @@ func (l *L1) Load(token int64, line uint64) LoadResult {
 		return LoadHit
 	}
 	if i := l.mshr.Lookup(line); i >= 0 {
+		if l.mshr.Spec(i) {
+			// A reversible speculative fill is in flight; it may complete
+			// statelessly, which a demand waiter must not observe. Retry
+			// once the spec fill resolves.
+			return LoadBlocked
+		}
 		l.mshr.AddWaiter(i, token)
 		*l.cnt.missCoalesced++
 		return LoadMiss
@@ -268,6 +303,130 @@ func (l *L1) LoadInvisible(token int64, line uint64) {
 	*l.cnt.invisibleMisses++
 	l.fab.send(Msg{Kind: GetSInv, Line: line, Src: l.addr(), Dst: l.home(line),
 		Token: token}, 0)
+}
+
+// LoadSpec issues a reversible speculative access (RCP scheme): the load
+// gets its data eagerly, pre-VP, and every piece of cache or directory
+// state the access creates is journaled so SpecAbandon can reverse it
+// exactly on a squash. A hit is read without an LRU update (deferred to
+// SpecCommit); a miss allocates a spec-marked MSHR and sends GetSSpec.
+// Spec fills never coalesce with anything: one token per transaction.
+func (l *L1) LoadSpec(token int64, line uint64) LoadResult {
+	set := l.cfg.L1Set(line)
+	if e := l.tags.Lookup(set, line); e != nil && e.State.CanRead() {
+		*l.cnt.specHits++
+		l.spec[token] = specTxn{line: line, hit: true}
+		l.fab.self(Msg{Kind: SelfDone, Line: line, Src: l.addr(), Dst: l.addr(),
+			Token: token}, l.cfg.L1HitCycles)
+		return LoadHit
+	}
+	if l.mshr.Lookup(line) >= 0 {
+		return LoadBlocked
+	}
+	if l.mshr.Free() == 0 {
+		return LoadBlocked
+	}
+	i := l.mshr.Alloc(line, token, false)
+	l.mshr.SetSpec(i, true)
+	*l.cnt.specMisses++
+	if l.tracing {
+		l.rec.Record(obs.Event{Cycle: l.now, Core: int16(l.id), Kind: obs.KindMSHRAlloc, Line: line})
+	}
+	l.fab.send(Msg{Kind: GetSSpec, Line: line, Src: l.addr(), Dst: l.home(line)}, 0)
+	return LoadMiss
+}
+
+// SpecCommit finalizes a speculative access whose load retired: the
+// deferred replacement-state updates happen now (Touch locally, a
+// SpecCommit message to the home slice if a sharer bit was registered).
+// Commit messages ride the reserved virtual network and consume no L1
+// port: they carry no data and are off the load's critical path.
+func (l *L1) SpecCommit(token int64) {
+	txn, ok := l.spec[token]
+	if !ok {
+		return
+	}
+	delete(l.spec, token)
+	*l.cnt.specCommits++
+	if e := l.tags.Lookup(l.cfg.L1Set(txn.line), txn.line); e != nil {
+		l.tags.Touch(e)
+	}
+	if txn.undoDir {
+		l.fab.send(Msg{Kind: SpecCommit, Line: txn.line, Src: l.addr(),
+			Dst: l.home(txn.line)}, 0)
+	}
+}
+
+// SpecAbandon reverses a speculative access whose load was squashed. If
+// the fill is still in flight the token is marked abandoned and the
+// arriving fill is reversed on the spot; otherwise the journaled state is
+// undone immediately.
+func (l *L1) SpecAbandon(token int64) {
+	txn, ok := l.spec[token]
+	if !ok {
+		l.specAband[token] = true
+		return
+	}
+	delete(l.spec, token)
+	l.undoSpec(txn)
+}
+
+// undoSpec reverses the journaled state of one speculative transaction.
+// The local invalidation deliberately skips the OnInvalidate LQ snoop: the
+// line leaves the cache because this core discards its own speculative
+// copy, not because a remote write changed the data, so no performed load
+// can have read a stale value.
+func (l *L1) undoSpec(txn specTxn) {
+	*l.cnt.specRollbacks++
+	if txn.installed {
+		// Remove the line only if it is still the speculative Shared copy;
+		// an intervening architectural action (a store upgrading it to M)
+		// legitimizes the line and the rollback must leave it alone.
+		if e := l.tags.Lookup(l.cfg.L1Set(txn.line), txn.line); e != nil &&
+			e.State == cache.Shared {
+			l.tags.Invalidate(e)
+		}
+	}
+	if txn.undoDir {
+		l.fab.send(Msg{Kind: SpecUndo, Line: txn.line, Src: l.addr(),
+			Dst: l.home(txn.line)}, 0)
+	}
+}
+
+// handleDataSpec completes a speculative fill. DataSpecS may install into
+// an invalid way (never evicting); DataSpecInv was served statelessly and
+// installs nothing. A fill whose token was abandoned mid-flight is
+// reversed immediately instead of being delivered.
+func (l *L1) handleDataSpec(m Msg) {
+	i := l.mshr.Lookup(m.Line)
+	if i < 0 {
+		return
+	}
+	registered := m.Kind == DataSpecS && m.Acks == 1
+	for _, w := range l.mshr.Release(i) {
+		if l.specAband[w] {
+			delete(l.specAband, w)
+			if registered {
+				l.fab.send(Msg{Kind: SpecUndo, Line: m.Line, Src: l.addr(),
+					Dst: l.home(m.Line)}, 0)
+			}
+			*l.cnt.specRollbacks++
+			continue
+		}
+		txn := specTxn{line: m.Line, undoDir: registered}
+		if m.Kind == DataSpecS {
+			set := l.cfg.L1Set(m.Line)
+			if l.tags.Lookup(set, m.Line) == nil {
+				if way := l.tags.InvalidWay(set); way != nil {
+					l.tags.InstallQuiet(way, m.Line, cache.Shared)
+					txn.installed = true
+					*l.cnt.specInstalls++
+				}
+			}
+		}
+		l.spec[w] = txn
+		l.hooks.LoadDone(w)
+	}
 }
 
 // PinInFlight marks an outstanding fill for the line as pinned (Early
@@ -365,6 +524,8 @@ func (l *L1) handle(m Msg) {
 	case DataInv:
 		// Invisible data: deliver without installing anything.
 		l.hooks.LoadDone(m.Token)
+	case DataSpecS, DataSpecInv:
+		l.handleDataSpec(m)
 	case DataX:
 		l.handleDataX(m)
 	case InvAck:
@@ -654,7 +815,7 @@ func (l *L1) handleRecall(m Msg) {
 func (l *L1) handleNack(m Msg) {
 	orig := Kind(m.Requestor)
 	switch orig {
-	case GetS:
+	case GetS, GetSSpec:
 		if i := l.mshr.Lookup(m.Line); i >= 0 {
 			l.fab.self(Msg{Kind: SelfRetry, Line: m.Line, Src: l.addr(),
 				Dst: l.addr(), Token: retryRequest}, nackBackoff)
@@ -676,13 +837,15 @@ func (l *L1) handleRetry(m Msg) {
 		}
 	case retryRequest:
 		if i := l.mshr.Lookup(m.Line); i >= 0 {
-			if l.mshr.ForWrite(i) {
-				l.fab.send(Msg{Kind: GetX, Line: m.Line, Src: l.addr(),
-					Dst: l.home(m.Line)}, 0)
-			} else {
-				l.fab.send(Msg{Kind: GetS, Line: m.Line, Src: l.addr(),
-					Dst: l.home(m.Line)}, 0)
+			kind := GetS
+			switch {
+			case l.mshr.ForWrite(i):
+				kind = GetX
+			case l.mshr.Spec(i):
+				kind = GetSSpec
 			}
+			l.fab.send(Msg{Kind: kind, Line: m.Line, Src: l.addr(),
+				Dst: l.home(m.Line)}, 0)
 		}
 	case retryInstall:
 		for i := range l.pending {

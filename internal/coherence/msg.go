@@ -112,6 +112,36 @@ const (
 	// it in its cache.
 	DataInv
 
+	// --- reversible speculation (RCP scheme) ---
+
+	// GetSSpec requests data for a pre-VP load under the reversible
+	// coherence protocol. The directory registers the requestor as a
+	// sharer only when it can do so reversibly (no eviction, no owner
+	// disturbance) and serves the data statelessly otherwise. Spec
+	// requests bypass the directory's demand-port budget — the protocol
+	// reserves a virtual network for them — so they cause no port
+	// interference an attacker could time.
+	GetSSpec
+	// DataSpecS answers a GetSSpec whose sharer registration succeeded;
+	// the L1 may install the line into an invalid way. Acks is 1 when the
+	// sharer bit was newly set (and must be reversed on squash), 0 when
+	// it was already set before the request.
+	DataSpecS
+	// DataSpecInv answers a GetSSpec served statelessly: no directory
+	// state was touched and the L1 must not install the line.
+	DataSpecInv
+	// SpecUndo reverses a speculative sharer registration after the
+	// requesting load was squashed: the sharer bit clears, and a
+	// spec-born LLC line with no remaining references is removed.
+	SpecUndo
+	// SpecCommit finalizes a speculative registration when the load
+	// retires: the spec-born mark clears and replacement state is touched
+	// (the LRU update deferred at access time).
+	SpecCommit
+	// MemRespSpec completes a stateless DRAM fetch for a GetSSpec that
+	// could not allocate an invalid LLC way.
+	MemRespSpec
+
 	// --- self-scheduled events ---
 
 	// MemResp is the directory's DRAM fetch completion.
@@ -138,7 +168,9 @@ var kindNames = map[Kind]string{
 	Defer: "Defer", RecallAck: "RecallAck", RecallDefer: "RecallDefer",
 	WBShared: "WBShared", MemResp: "MemResp", SelfRetry: "SelfRetry",
 	SelfDone: "SelfDone", GetSInv: "GetSInv", DataInv: "DataInv",
-	MemRespInv: "MemRespInv",
+	MemRespInv: "MemRespInv", GetSSpec: "GetSSpec", DataSpecS: "DataSpecS",
+	DataSpecInv: "DataSpecInv", SpecUndo: "SpecUndo",
+	SpecCommit: "SpecCommit", MemRespSpec: "MemRespSpec",
 }
 
 // String returns the protocol name of the message kind.
@@ -152,7 +184,7 @@ func (k Kind) String() string {
 // isData reports whether the message carries a full cache line.
 func (k Kind) isData() bool {
 	switch k {
-	case DataS, DataE, DataX, PutM, WBShared, DataInv:
+	case DataS, DataE, DataX, PutM, WBShared, DataInv, DataSpecS, DataSpecInv:
 		return true
 	}
 	return false

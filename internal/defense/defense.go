@@ -36,9 +36,17 @@ const (
 	// Pinned Loads helps it by letting loads reach the VP before issuing
 	// at all, so the double access disappears.
 	IS
+	// RCP (reversible coherence protocol, after "A Case for Reversible
+	// Coherence Protocol") lets pre-VP loads execute eagerly but buffers
+	// every coherence-state transition they cause — L1 installs, directory
+	// sharer registrations, LLC fills — and reverses the buffered state on
+	// squash instead of fencing, delaying or hiding the access. Squashed
+	// speculation therefore leaves the cache hierarchy byte-identical to
+	// its pre-speculation state.
+	RCP
 )
 
-var schemeNames = [...]string{Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT", IS: "IS"}
+var schemeNames = [...]string{Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT", IS: "IS", RCP: "RCP"}
 
 // String returns the scheme name as used in the paper.
 func (s Scheme) String() string {
@@ -52,7 +60,9 @@ func (s Scheme) String() string {
 func Schemes() []Scheme { return []Scheme{Fence, DOM, STT} }
 
 // AllSchemes additionally includes the InvisiSpec-style scheme, which the
-// paper discusses as a protectable category but does not evaluate.
+// paper discusses as a protectable category but does not evaluate. RCP is
+// deliberately excluded: it is a design-space comparison point outside the
+// paper's figures, evaluated only by the security tier's extra matrix rows.
 func AllSchemes() []Scheme { return []Scheme{Fence, DOM, STT, IS} }
 
 // Variant is a configuration extension of a defense scheme (paper Table 3).
@@ -82,6 +92,49 @@ func (v Variant) String() string {
 
 // Variants lists the configurations in the paper's figure order.
 func Variants() []Variant { return []Variant{Comp, LP, EP, Spectre} }
+
+// Consistency selects the memory consistency model the simulated machine
+// enforces. The paper evaluates Pinned Loads under TSO; RC is the relaxed
+// design point the surrounding literature (e.g. the STT artifact's
+// --needsTSO knob) treats as a first-class axis. The zero value is TSO so
+// every pre-existing Policy literal keeps its meaning.
+type Consistency uint8
+
+const (
+	// TSO is total store order: loads must appear to execute in order, so
+	// a remote invalidation of a performed-but-unretired load's line is a
+	// memory consistency violation that squashes the load, and the write
+	// buffer drains in FIFO order.
+	TSO Consistency = iota
+	// RC is release consistency: load→load order is not enforced (remote
+	// invalidations never squash, and the CondMCV visibility condition is
+	// vacuous), and the write buffer may merge stores out of order.
+	RC
+)
+
+var consistencyNames = [...]string{TSO: "TSO", RC: "RC"}
+
+// String returns the consistency-model name.
+func (c Consistency) String() string {
+	if int(c) < len(consistencyNames) {
+		return consistencyNames[c]
+	}
+	return fmt.Sprintf("Consistency(%d)", uint8(c))
+}
+
+// Consistencies lists the supported consistency models.
+func Consistencies() []Consistency { return []Consistency{TSO, RC} }
+
+// ParseConsistency resolves a consistency-model name (any case: "tso",
+// "RC") to its value; it accepts exactly the names String returns.
+func ParseConsistency(name string) (Consistency, error) {
+	for c, n := range consistencyNames {
+		if strings.EqualFold(name, n) {
+			return Consistency(c), nil
+		}
+	}
+	return 0, fmt.Errorf("defense: unknown consistency model %q (want tso or rc)", name)
+}
 
 // Cond is a bitmask of squash sources a load must be safe from before it
 // reaches its Visibility Point (the four conditions of paper Section 1).
@@ -138,28 +191,47 @@ type Policy struct {
 	// Conds overrides the VP condition mask when non-zero; the Figure 1
 	// study uses it to apply the conditions cumulatively.
 	Conds Cond
+	// Consistency is the enforced memory model; the zero value (TSO) is
+	// the paper's machine.
+	Consistency Consistency
 }
 
-// VPConds returns the effective VP condition mask.
+// VPConds returns the effective VP condition mask. Under RC the CondMCV
+// condition is vacuous — no memory-consistency squashes exist — so it is
+// removed from whichever mask applies (including explicit Conds overrides).
 func (p Policy) VPConds() Cond {
-	if p.Conds != 0 {
-		return p.Conds
+	mask := p.Conds
+	if mask == 0 {
+		if p.Variant == Spectre {
+			mask = CondsSpectre
+		} else {
+			mask = CondsComprehensive
+		}
 	}
-	if p.Variant == Spectre {
-		return CondsSpectre
+	if p.Consistency == RC {
+		mask &^= CondMCV
 	}
-	return CondsComprehensive
+	return mask
 }
 
 // Pinning reports whether the policy uses Pinned Loads (LP or EP).
 func (p Policy) Pinning() bool { return p.Variant == LP || p.Variant == EP }
 
-// String renders the policy like the paper's figure labels.
+// String renders the policy like the paper's figure labels. Non-TSO
+// policies carry an "@model" suffix; TSO policies render exactly as they
+// did before the consistency axis existed, so goldens, cache keys and
+// checkpoint fingerprints for the paper's machine are unchanged.
 func (p Policy) String() string {
+	s := ""
 	if p.Conds != 0 {
-		return fmt.Sprintf("%s[%s]", p.Scheme, p.Conds)
+		s = fmt.Sprintf("%s[%s]", p.Scheme, p.Conds)
+	} else {
+		s = fmt.Sprintf("%s-%s", p.Scheme, p.Variant)
 	}
-	return fmt.Sprintf("%s-%s", p.Scheme, p.Variant)
+	if p.Consistency != TSO {
+		s += "@" + p.Consistency.String()
+	}
+	return s
 }
 
 // ParseScheme resolves a scheme name (any case: "fence", "DOM", ...) to
@@ -170,7 +242,7 @@ func ParseScheme(name string) (Scheme, error) {
 			return Scheme(s), nil
 		}
 	}
-	return 0, fmt.Errorf("defense: unknown scheme %q (want unsafe, fence, dom, stt or is)", name)
+	return 0, fmt.Errorf("defense: unknown scheme %q (want unsafe, fence, dom, stt, is or rcp)", name)
 }
 
 // ParseVariant resolves a variant name (any case: "comp", "EP", ...) to

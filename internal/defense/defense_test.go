@@ -5,7 +5,7 @@ import "testing"
 func TestSchemeStrings(t *testing.T) {
 	cases := map[Scheme]string{
 		Unsafe: "Unsafe", Fence: "Fence", DOM: "DOM", STT: "STT", IS: "IS",
-		Scheme(99): "Scheme(99)",
+		RCP: "RCP", Scheme(99): "Scheme(99)",
 	}
 	for s, want := range cases {
 		if s.String() != want {
@@ -86,6 +86,18 @@ func TestVPConds(t *testing.T) {
 		{"override-beats-variant", Policy{Scheme: Fence, Variant: Spectre,
 			Conds: CondsComprehensive}, CondsComprehensive},
 		{"override-single", Policy{Scheme: STT, Conds: CondMCV}, CondMCV},
+		{"rcp-comp", Policy{Scheme: RCP, Variant: Comp}, CondsComprehensive},
+		{"rcp-spectre", Policy{Scheme: RCP, Variant: Spectre}, CondsSpectre},
+		// Under RC the mcv condition is vacuous and drops out of every mask.
+		{"comp-rc", Policy{Scheme: Fence, Variant: Comp, Consistency: RC},
+			CondCtrl | CondAlias | CondException},
+		{"unsafe-rc", Policy{Scheme: Unsafe, Consistency: RC},
+			CondCtrl | CondAlias | CondException},
+		{"spectre-rc", Policy{Scheme: STT, Variant: Spectre, Consistency: RC}, CondsSpectre},
+		{"rcp-comp-rc", Policy{Scheme: RCP, Variant: Comp, Consistency: RC},
+			CondCtrl | CondAlias | CondException},
+		{"override-rc", Policy{Scheme: Fence, Conds: CondAlias | CondMCV, Consistency: RC},
+			CondAlias},
 	}
 	for _, c := range cases {
 		if got := c.pol.VPConds(); got != c.want {
@@ -113,6 +125,14 @@ func TestPolicyString(t *testing.T) {
 		{Policy{Scheme: IS, Variant: Spectre}, "IS-SPECTRE"},
 		{Policy{Scheme: Fence, Conds: CondCtrl}, "Fence[ctrl]"},
 		{Policy{Scheme: STT, Conds: CondAlias | CondMCV}, "STT[alias+mcv]"},
+		{Policy{Scheme: RCP, Variant: Comp}, "RCP-COMP"},
+		{Policy{Scheme: RCP, Variant: Spectre}, "RCP-SPECTRE"},
+		{Policy{Scheme: Unsafe, Consistency: RC}, "Unsafe-COMP@RC"},
+		{Policy{Scheme: DOM, Variant: EP, Consistency: RC}, "DOM-EP@RC"},
+		{Policy{Scheme: RCP, Variant: Comp, Consistency: RC}, "RCP-COMP@RC"},
+		{Policy{Scheme: Fence, Conds: CondCtrl, Consistency: RC}, "Fence[ctrl]@RC"},
+		// TSO is the zero value and must not change any legacy label.
+		{Policy{Scheme: IS, Variant: Spectre, Consistency: TSO}, "IS-SPECTRE"},
 	}
 	for _, c := range cases {
 		if got := c.pol.String(); got != c.want {
@@ -121,8 +141,22 @@ func TestPolicyString(t *testing.T) {
 	}
 }
 
+func TestConsistencyStrings(t *testing.T) {
+	cases := map[Consistency]string{
+		TSO: "TSO", RC: "RC", Consistency(99): "Consistency(99)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if cs := Consistencies(); len(cs) != 2 || cs[0] != TSO || cs[1] != RC {
+		t.Fatalf("Consistencies() = %v", cs)
+	}
+}
+
 func TestParseRoundTrips(t *testing.T) {
-	for _, s := range append([]Scheme{Unsafe}, AllSchemes()...) {
+	for _, s := range append([]Scheme{Unsafe, RCP}, AllSchemes()...) {
 		got, err := ParseScheme(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseScheme(%q) = %v, %v", s, got, err)
@@ -148,6 +182,18 @@ func TestParseRoundTrips(t *testing.T) {
 	}
 	if _, err := ParseCond("bogus"); err == nil {
 		t.Error("ParseCond accepted an unknown name")
+	}
+	for _, c := range Consistencies() {
+		got, err := ParseConsistency(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseConsistency(%q) = %v, %v", c, got, err)
+		}
+	}
+	if got, err := ParseConsistency("tso"); err != nil || got != TSO {
+		t.Errorf("ParseConsistency(\"tso\") = %v, %v", got, err)
+	}
+	if _, err := ParseConsistency("bogus"); err == nil {
+		t.Error("ParseConsistency accepted an unknown name")
 	}
 }
 

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"pinnedloads/internal/defense"
 	"pinnedloads/internal/sectest"
 )
 
@@ -60,12 +59,19 @@ func (m *SecurityMatrix) String() string {
 	}
 	out := "Security matrix (leakage oracle, secret=0 vs secret=1)\n" + tb.String()
 
-	env := &table{header: []string{"Scheme", "Kernel", "CPI low", "CPI high"}}
-	schemes := append([]defense.Scheme{defense.Unsafe}, defense.AllSchemes()...)
-	for _, s := range schemes {
+	env := &table{header: []string{"Scheme", "Consistency", "Kernel", "CPI low", "CPI high"}}
+	seen := map[string]bool{}
+	for _, pol := range sectest.Policies() {
+		// One envelope row per scheme x consistency point; the variants of
+		// a scheme share an envelope by design.
+		rowKey := pol.Scheme.String() + "@" + pol.Consistency.String()
+		if seen[rowKey] {
+			continue
+		}
+		seen[rowKey] = true
 		for _, kernel := range m.Kernels {
-			if bounds, ok := sectest.CPIEnvelope(s, kernel); ok {
-				env.add(s.String(), kernel,
+			if bounds, ok := sectest.CPIEnvelope(pol, kernel); ok {
+				env.add(pol.Scheme.String(), pol.Consistency.String(), kernel,
 					fmt.Sprintf("%.1f", bounds[0]), fmt.Sprintf("%.1f", bounds[1]))
 			}
 		}

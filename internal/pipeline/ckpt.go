@@ -68,6 +68,7 @@ func (en *entry) save(e *ckptio.Encoder) {
 	e.Bool(en.pinSafe)
 	e.U64(en.line)
 	e.I64(en.token)
+	e.I64(en.specToken)
 	e.U64(en.archAddr)
 	e.Bool(en.resolved)
 	e.Bool(en.willMispredict)
@@ -100,6 +101,7 @@ func (en *entry) load(d *ckptio.Decoder) {
 	en.pinSafe = d.Bool()
 	en.line = d.U64()
 	en.token = d.I64()
+	en.specToken = d.I64()
 	en.archAddr = d.U64()
 	en.resolved = d.Bool()
 	en.willMispredict = d.Bool()

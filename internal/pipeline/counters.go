@@ -38,6 +38,8 @@ type coreCounters struct {
 	loadsForwardedWB     *uint64
 	loadsIssued          *uint64
 	loadsIssuedInvisible *uint64
+	loadsIssuedSpec      *uint64
+	loadsSpecRevalidated *uint64
 	loadsDOMHit          *uint64
 	loadsSTTUntainted    *uint64
 	loadsExposed         *uint64
@@ -89,6 +91,8 @@ func bindCoreCounters(ct *stats.Counters) coreCounters {
 		loadsForwardedWB:     ct.Handle("loads.forwarded_wb"),
 		loadsIssued:          ct.Handle("loads.issued"),
 		loadsIssuedInvisible: ct.Handle("loads.issued_invisible"),
+		loadsIssuedSpec:      ct.Handle("loads.issued_spec"),
+		loadsSpecRevalidated: ct.Handle("loads.spec_revalidated"),
 		loadsDOMHit:          ct.Handle("loads.dom_hit"),
 		loadsSTTUntainted:    ct.Handle("loads.stt_untainted"),
 		loadsExposed:         ct.Handle("loads.exposed"),

@@ -199,6 +199,11 @@ func (c *Core) squashFrom(from int64, cause string) {
 		if e.token != 0 {
 			delete(c.tokenSeq, e.token)
 		}
+		if e.specToken != 0 {
+			// Reverse the load's journaled cache/directory state (RCP).
+			c.l1.SpecAbandon(e.specToken)
+			e.specToken = 0
+		}
 		if !e.wrong && refetch < 0 {
 			refetch = e.winIdx
 		}

@@ -29,6 +29,23 @@ func (c *Core) issueLoads() {
 			return
 		}
 		token := c.newToken(seq)
+		if mode == issueSpec {
+			// RCP-style reversible access: the load issues eagerly pre-VP;
+			// every state change is journaled at the L1/directory and is
+			// reversed on squash (SpecAbandon) or finalized at retirement
+			// (SpecCommit).
+			switch c.l1.LoadSpec(token, e.line) {
+			case coherence.LoadBlocked:
+				delete(c.tokenSeq, token)
+				e.token = 0
+				*c.cnt.stallMSHRFull++
+			default:
+				e.specToken = token
+				c.setState(e, stIssued)
+				*c.cnt.loadsIssuedSpec++
+			}
+			continue
+		}
 		if mode == issueInvisible {
 			// InvisiSpec-style stateless access: data arrives without
 			// any cache or directory footprint; an exposure access
@@ -72,6 +89,7 @@ const (
 	issueDenied issueMode = iota
 	issueNormal
 	issueInvisible
+	issueSpec
 )
 
 // mayIssueLoad applies the defense scheme's issue gate (paper Table 2).
@@ -119,6 +137,11 @@ func (c *Core) mayIssueLoad(e *entry) issueMode {
 		// Invisible speculation: pre-VP loads may always access memory,
 		// but statelessly (paper Section 1's InvisiSpec example).
 		return issueInvisible
+	case defense.RCP:
+		// Reversible coherence: pre-VP loads access memory eagerly and
+		// install state normally; the state is journaled and reversed on
+		// a squash instead of being delayed or hidden.
+		return issueSpec
 	}
 	return issueDenied
 }
@@ -156,6 +179,45 @@ func (c *Core) exposeLoads() {
 	}
 }
 
+// validateSpecLoads re-resolves the effective address of performed
+// reversible accesses (RCP) whose operands carried transiently forwarded
+// data. While the speculative window is open the access rightly went to
+// the transient address; once every older squash source has resolved the
+// operands hold architectural values, and a spec access that went
+// elsewhere is misspeculated state. A squash would reverse it via
+// SpecAbandon — but the window can also close benignly, with no squash,
+// and without this pass the wrong line's journaled install would be
+// committed at retirement (exactly the leak the mcv kernel constructs).
+// The validation reverses the journaled access and re-issues the load to
+// its architectural line, the reversible-coherence analog of InvisiSpec's
+// post-VP exposure re-reading its operands.
+func (c *Core) validateSpecLoads() {
+	if c.policy.Scheme != defense.RCP {
+		return
+	}
+	for _, seq := range c.loadSeqs {
+		if !c.valid(seq) {
+			continue
+		}
+		e := c.at(seq)
+		if e.specToken == 0 || !e.performed || e.token != 0 ||
+			e.inst.TransientAddr == 0 {
+			continue
+		}
+		old := e.line
+		c.effectiveAddr(e)
+		if e.line == old {
+			continue
+		}
+		c.l1.SpecAbandon(e.specToken)
+		e.specToken = 0
+		e.performed = false
+		c.removePerformed(seq)
+		c.setState(e, stAddrDone)
+		*c.cnt.loadsSpecRevalidated++
+	}
+}
+
 // rfoLookahead bounds how many write-buffer entries beyond the head may
 // have ownership prefetches outstanding.
 const rfoLookahead = 6
@@ -163,7 +225,14 @@ const rfoLookahead = 6
 // drainWriteBuffer merges buffered stores into the cache in FIFO order
 // (TSO store->store), overlapping the ownership (RFO) transactions of the
 // entries behind the head — the standard store-buffer implementation.
+// Under RC the store->store constraint disappears and any writable entry
+// may merge (fences still drain the whole buffer before retiring, which
+// preserves release semantics).
 func (c *Core) drainWriteBuffer() {
+	if c.policy.Consistency == defense.RC {
+		c.drainWriteBufferRC()
+		return
+	}
 	merged := 0
 	for c.wb.Len() > 0 && merged < 2 {
 		line := arch.LineAddr(c.wb.Front())
@@ -184,6 +253,30 @@ func (c *Core) drainWriteBuffer() {
 	}
 }
 
+// drainWriteBufferRC is the relaxed-consistency drain: the buffer is
+// scanned past entries whose ownership is still in flight, merging up to
+// two stores per cycle wherever their lines are already writable.
+func (c *Core) drainWriteBufferRC() {
+	merged := 0
+	for i := 0; i < c.wb.Len() && merged < 2; {
+		line := arch.LineAddr(c.wb.At(i))
+		if !c.l1.HasWritable(line) {
+			i++
+			continue
+		}
+		if !c.l1.AcquirePort() {
+			return
+		}
+		c.l1.MergeStore(line)
+		c.wb.RemoveAt(i)
+		merged++
+		*c.cnt.storesMerged++
+	}
+	for i := 0; i < c.wb.Len() && i < rfoLookahead; i++ {
+		c.l1.Acquire(arch.LineAddr(c.wb.At(i)))
+	}
+}
+
 // --- coherence.CoreHooks implementation ---
 
 // PinnedLine reports whether the core has the line pinned; the coherence
@@ -194,7 +287,11 @@ func (c *Core) PinnedLine(line uint64) bool { return c.pinnedRef[line] > 0 }
 // performed yet-to-retire loads of that line are conservatively squashed as
 // potential memory-consistency violations — except the oldest load under
 // the aggressive TSO implementation, which cannot have been reordered.
+// Under RC load→load order is not enforced, so the snoop never squashes.
 func (c *Core) OnInvalidate(line uint64) {
+	if c.policy.Consistency == defense.RC {
+		return
+	}
 	victim := int64(-1)
 	for _, seq := range c.lqPerformed {
 		if !c.valid(seq) {

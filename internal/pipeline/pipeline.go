@@ -68,6 +68,10 @@ type entry struct {
 	pinSafe bool
 	line    uint64
 	token   int64
+	// specToken identifies the load's reversible speculative access (RCP
+	// scheme) at the L1; it outlives token so retirement can commit — and
+	// a squash reverse — the journaled cache/directory state.
+	specToken int64
 	// archAddr preserves a load's architectural address while inst.Addr
 	// holds the effective (possibly transient) one; see effectiveAddr.
 	archAddr uint64
@@ -184,8 +188,8 @@ type Core struct {
 	lqPerformed []int64
 
 	// Pinned Loads state.
-	pinnedRef     map[uint64]int  // line -> pinned-load refcount
-	pinFrontier   int64           // next seq to consider for pinning
+	pinnedRef     map[uint64]int // line -> pinned-load refcount
+	pinFrontier   int64          // next seq to consider for pinning
 	l1CST         *pin.CST
 	dirCST        *pin.CST
 	cpt           *pin.CPT
@@ -374,6 +378,7 @@ func (c *Core) Tick(now int64) {
 	c.drainUnpins()
 	c.advanceVP()
 	c.pinGovernor()
+	c.validateSpecLoads()
 	c.issueLoads()
 	c.exposeLoads()
 	c.execute()

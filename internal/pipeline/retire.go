@@ -35,6 +35,30 @@ func (c *Core) retire() {
 				*c.cnt.stallRetireExpose++
 				return
 			}
+			if e.specToken != 0 && e.inst.TransientAddr != 0 {
+				// A reversibly performed load (RCP) validates its address
+				// at the commit point: every older squash source is gone
+				// here, so effectiveAddr resolves architecturally. If the
+				// speculative access went to a transiently forwarded
+				// address instead, reverse the journaled state and
+				// re-issue before committing — otherwise the wrong line's
+				// install would be finalized. The mid-window squash case
+				// is handled by squashFrom; this catches windows that
+				// close benignly within one retire sweep, before
+				// validateSpecLoads can observe them.
+				old := e.line
+				c.effectiveAddr(e)
+				if e.line != old {
+					c.l1.SpecAbandon(e.specToken)
+					e.specToken = 0
+					e.performed = false
+					c.removePerformed(e.seq)
+					c.setState(e, stAddrDone)
+					*c.cnt.loadsSpecRevalidated++
+					*c.cnt.stallRetireLoad++
+					return
+				}
+			}
 		case isa.Store:
 			if e.state != stDone {
 				return
@@ -99,6 +123,12 @@ func (c *Core) retire() {
 			if e.token != 0 {
 				delete(c.tokenSeq, e.token)
 				e.token = 0
+			}
+			if e.specToken != 0 {
+				// Finalize the reversible access: the deferred LRU updates
+				// happen now that the load is architectural (RCP).
+				c.l1.SpecCommit(e.specToken)
+				e.specToken = 0
 			}
 		case isa.Store:
 			c.storesInROB--

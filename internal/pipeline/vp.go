@@ -20,8 +20,12 @@ func (c *Core) findOldestLoad() {
 // consistency violation: it is pinned, or — under the aggressive TSO
 // implementation the evaluation uses (paper Sections 2 and 3.3) — it is the
 // oldest load in the ROB; under the conservative implementation only a load
-// at the ROB head qualifies.
+// at the ROB head qualifies. Under relaxed consistency load→load order is
+// not enforced, so no load can suffer an MCV squash.
 func (c *Core) mcvSafeNow(e *entry) bool {
+	if c.policy.Consistency == defense.RC {
+		return true
+	}
 	if e.pinned || e.pinSafe {
 		return true
 	}
@@ -122,10 +126,16 @@ func (c *Core) reachedVP(e *entry) bool {
 // It is independent of the active policy: it asks whether the machine is
 // still inside a speculative window in which seq could be squashed, which
 // decides whether a load's TransientAddr (transiently forwarded secret) or
-// its architectural Addr takes effect.
+// its architectural Addr takes effect. It is independent of the active
+// policy but not of the machine's consistency model: under RC no
+// memory-consistency squash exists, so CondMCV is not a squash source.
 func (c *Core) comprehensivelySafe(seq int64) bool {
+	mask := defense.CondsComprehensive
+	if c.policy.Consistency == defense.RC {
+		mask &^= defense.CondMCV
+	}
 	for s := c.head; s < seq; s++ {
-		if !c.frontierPass(c.at(s), defense.CondsComprehensive) {
+		if !c.frontierPass(c.at(s), mask) {
 			return false
 		}
 	}

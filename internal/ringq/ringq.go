@@ -58,6 +58,24 @@ func (q *Q[T]) At(i int) T {
 	return q.buf[(q.head+i)&(len(q.buf)-1)]
 }
 
+// RemoveAt removes the i-th element from the front, preserving the order
+// of the remaining elements; it panics when i is out of range. The
+// relaxed-consistency write buffer uses it to merge stores out of FIFO
+// order. Cost is O(i): elements in front of i shift back one slot.
+func (q *Q[T]) RemoveAt(i int) {
+	if i < 0 || i >= q.n {
+		panic("ringq: RemoveAt index out of range")
+	}
+	mask := len(q.buf) - 1
+	for ; i > 0; i-- {
+		q.buf[(q.head+i)&mask] = q.buf[(q.head+i-1)&mask]
+	}
+	var zero T
+	q.buf[q.head] = zero // drop the reference for the garbage collector
+	q.head = (q.head + 1) & mask
+	q.n--
+}
+
 // grow doubles the ring's capacity (minimum 8), unrolling the wrapped
 // contents into the front of the new buffer.
 func (q *Q[T]) grow() {

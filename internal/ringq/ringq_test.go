@@ -87,6 +87,38 @@ func TestGrowPreservesWrappedContents(t *testing.T) {
 	}
 }
 
+// TestRemoveAt removes from the front, middle and back at many head
+// offsets, checking the survivors keep their relative order.
+func TestRemoveAt(t *testing.T) {
+	for offset := 0; offset < 12; offset++ {
+		for remove := 0; remove < 5; remove++ {
+			var q Q[int]
+			for i := 0; i < offset; i++ { // walk the head around the ring
+				q.Push(-1)
+				q.Pop()
+			}
+			for i := 0; i < 5; i++ {
+				q.Push(i)
+			}
+			q.RemoveAt(remove)
+			if q.Len() != 4 {
+				t.Fatalf("offset %d remove %d: Len = %d", offset, remove, q.Len())
+			}
+			want := 0
+			for q.Len() > 0 {
+				if want == remove {
+					want++
+				}
+				if got := q.Pop(); got != want {
+					t.Fatalf("offset %d remove %d: Pop = %d, want %d",
+						offset, remove, got, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
 func TestPanics(t *testing.T) {
 	expectPanic := func(name string, f func()) {
 		t.Helper()
@@ -101,9 +133,12 @@ func TestPanics(t *testing.T) {
 	expectPanic("Pop", func() { q.Pop() })
 	expectPanic("Front", func() { q.Front() })
 	expectPanic("At", func() { q.At(0) })
+	expectPanic("RemoveAt", func() { q.RemoveAt(0) })
 	q.Push(1)
 	expectPanic("At(1)", func() { q.At(1) })
 	expectPanic("At(-1)", func() { q.At(-1) })
+	expectPanic("RemoveAt(1)", func() { q.RemoveAt(1) })
+	expectPanic("RemoveAt(-1)", func() { q.RemoveAt(-1) })
 }
 
 // TestSteadyStateNoGrowth checks the ring stops allocating once it has

@@ -44,13 +44,28 @@ func Kernels() []string {
 }
 
 // Policies lists the full security matrix: the unprotected baseline plus
-// every protected scheme under every variant.
+// every protected scheme under every variant, followed by the consistency
+// design points. The consistency rows are appended after the legacy TSO
+// rows so those stay a byte-identical prefix of the golden matrix — the
+// differential-consistency test pins exactly that.
 func Policies() []defense.Policy {
 	out := []defense.Policy{{Scheme: defense.Unsafe}}
 	for _, s := range defense.AllSchemes() {
 		for _, v := range defense.Variants() {
 			out = append(out, defense.Policy{Scheme: s, Variant: v})
 		}
+	}
+	// The reversible-rollback scheme (RCP) under both threat models.
+	out = append(out,
+		defense.Policy{Scheme: defense.RCP},
+		defense.Policy{Scheme: defense.RCP, Variant: defense.Spectre},
+	)
+	// Every scheme's Comprehensive point under release consistency.
+	for _, s := range []defense.Scheme{
+		defense.Unsafe, defense.Fence, defense.DOM,
+		defense.STT, defense.IS, defense.RCP,
+	} {
+		out = append(out, defense.Policy{Scheme: s, Consistency: defense.RC})
 	}
 	return out
 }
@@ -133,13 +148,14 @@ func Observe(pol defense.Policy, kernel string, secret, seed uint64) (Observatio
 		State:  stateFingerprint(sys, cfg),
 		Events: eventSummary(ring),
 		Key: speckey.Spec{
-			Benchmark: atk.Name(),
-			Scheme:    pol.Scheme.String(),
-			Variant:   pol.Variant.String(),
-			Conds:     uint8(pol.VPConds()),
-			Seed:      seed,
-			Config:    &cfg,
-			Attack:    speckey.AttackCanonical(atk),
+			Benchmark:   atk.Name(),
+			Scheme:      pol.Scheme.String(),
+			Variant:     pol.Variant.String(),
+			Conds:       uint8(pol.VPConds()),
+			Seed:        seed,
+			Config:      &cfg,
+			Attack:      speckey.AttackCanonical(atk),
+			Consistency: pol.Consistency.String(),
 		}.Key(),
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -298,6 +314,12 @@ func RenderMatrix(cells []Cell) string {
 	b.WriteString(strings.TrimRight(line, " ") + "\n")
 	for _, p := range polOrder {
 		line = fmt.Sprintf("%-14s", p)
+		if !strings.HasSuffix(line, " ") {
+			// Policy names of 14+ characters (the consistency rows) would
+			// otherwise run into the first verdict column. The legacy rows
+			// are all shorter, so their rendering is unchanged.
+			line += " "
+		}
 		for _, k := range kernels {
 			line += fmt.Sprintf("%-*s", w, byPolicy[p][k].String())
 		}
@@ -320,11 +342,26 @@ func RenderMatrix(cells []Cell) string {
 //     leaks the alias and mcv kernels: their transmitters sit on correct
 //     paths with no older branch, so the Spectre-model VP is already
 //     reached when the transient window is still open.
+//   - RCP under the Comprehensive model blocks all four kernels: pre-VP
+//     loads access memory eagerly, but every cache and directory change
+//     is journaled and reversed on squash, and its directory requests
+//     ride a reserved virtual network that claims no shared ports. Under
+//     the Spectre model RCP inherits the model's blind spots exactly like
+//     the delay schemes: the alias and mcv transmitters are past the
+//     Spectre-model VP, so they issue as ordinary (irreversible) loads.
+//   - Under RC the mcv kernel goes dark for every scheme, the unprotected
+//     baseline included: RC permits load-load reordering, so the stale
+//     read the kernel provokes is architecturally legal — the LQ never
+//     snoops invalidations, no squash occurs, and no transient window
+//     opens. The other three kernels keep their TSO verdicts.
 //
 // Late and Early Pinning never change a verdict relative to Comp — the
 // paper's claim that pinning recovers performance without weakening the
 // defense — which the matrix test asserts structurally as well.
 func Expected(pol defense.Policy, kernel string) Verdict {
+	if pol.Consistency == defense.RC && kernel == "mcv" {
+		return Verdict{} // the stale read is legal; nothing is transient
+	}
 	if pol.Scheme == defense.Unsafe {
 		if kernel == "interference" {
 			return Verdict{StateLeak: true, TimingLeak: true}
@@ -340,44 +377,90 @@ func Expected(pol defense.Policy, kernel string) Verdict {
 	case "interference":
 		// The victim's burst is control-shielded, so even the Spectre
 		// model delays it — but IS only hides its state, not its port
-		// contention.
+		// contention. RCP's burst does issue, reversibly and without
+		// touching the contended directory ports.
 		return Verdict{TimingLeak: pol.Scheme == defense.IS}
 	}
 	panic("sectest: unknown kernel " + kernel)
 }
 
-// cpiEnvelopes bounds each scheme x kernel cell's core-0 CPI (secret=0
-// run, seed 1): [low, high] spans the measured CPIs of the scheme's
-// variants with ~25% headroom. A breach means the defense's performance
-// character changed — a pinning optimization regressed, or a scheme
-// stopped gating what it should — even if no leak appeared.
-var cpiEnvelopes = map[defense.Scheme]map[string][2]float64{
-	defense.Unsafe: {
+// envKey identifies one CPI-envelope row: the consistency model is a
+// performance axis of its own (RC removes load-load ordering stalls), so
+// a scheme's TSO and RC envelopes are tracked separately.
+type envKey struct {
+	Scheme      defense.Scheme
+	Consistency defense.Consistency
+}
+
+// cpiEnvelopes bounds each scheme x consistency x kernel cell's core-0
+// CPI (secret=0 run, seed 1): [low, high] spans the measured CPIs of the
+// scheme's variants with ~25% headroom. A breach means the defense's
+// performance character changed — a pinning optimization regressed, or a
+// scheme stopped gating what it should — even if no leak appeared.
+var cpiEnvelopes = map[envKey]map[string][2]float64{
+	{defense.Unsafe, defense.TSO}: {
 		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
 		"mcv": {8.6, 14.5}, "interference": {11.4, 19.1},
 	},
-	defense.Fence: {
+	{defense.Fence, defense.TSO}: {
 		"spectre_v1": {14.0, 25.0}, "alias": {2.0, 20.8},
 		"mcv": {1.9, 21.0}, "interference": {11.4, 19.1},
 	},
-	defense.DOM: {
+	{defense.DOM, defense.TSO}: {
 		"spectre_v1": {14.0, 25.0}, "alias": {2.0, 20.8},
 		"mcv": {2.0, 23.7}, "interference": {11.4, 19.1},
 	},
-	defense.STT: {
+	{defense.STT, defense.TSO}: {
 		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
 		"mcv": {1.6, 14.5}, "interference": {11.4, 19.1},
 	},
-	defense.IS: {
+	{defense.IS, defense.TSO}: {
 		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
 		"mcv": {1.6, 23.0}, "interference": {11.4, 19.1},
 	},
+	// The mcv span under RCP covers both threat models: COMP pays the
+	// retire-time validation round trips (9.3), SPECTRE's irreversible
+	// post-VP issues land in between (11.6).
+	{defense.RCP, defense.TSO}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {6.9, 14.5}, "interference": {11.4, 19.1},
+	},
+	// Under RC the mcv kernel's contested load never squashes or stalls
+	// for load-load order, so every scheme's mcv CPI collapses to the
+	// kernel's compute bound; spectre_v1 and interference are untouched
+	// by the consistency model (no load-load edges in their hot paths).
+	{defense.Unsafe, defense.RC}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {1.2, 2.1}, "interference": {11.4, 19.1},
+	},
+	{defense.Fence, defense.RC}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {2.0, 3.4},
+		"mcv": {1.6, 2.8}, "interference": {11.4, 19.1},
+	},
+	{defense.DOM, defense.RC}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {2.0, 3.4},
+		"mcv": {1.5, 2.7}, "interference": {11.4, 19.1},
+	},
+	{defense.STT, defense.RC}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {1.2, 2.1}, "interference": {11.4, 19.1},
+	},
+	{defense.IS, defense.RC}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {1.1, 2.0}, "interference": {11.4, 19.1},
+	},
+	{defense.RCP, defense.RC}: {
+		"spectre_v1": {14.0, 25.0}, "alias": {12.4, 20.8},
+		"mcv": {1.5, 2.7}, "interference": {11.4, 19.1},
+	},
 }
 
-// CPIEnvelope returns the [low, high] CPI bounds for a scheme x kernel
-// cell and whether an envelope is defined for it.
-func CPIEnvelope(scheme defense.Scheme, kernel string) ([2]float64, bool) {
-	env, ok := cpiEnvelopes[scheme][kernel]
+// CPIEnvelope returns the [low, high] CPI bounds for a policy x kernel
+// cell and whether an envelope is defined for it. Only the policy's
+// scheme and consistency select the envelope; the variants of one scheme
+// share a row by design.
+func CPIEnvelope(pol defense.Policy, kernel string) ([2]float64, bool) {
+	env, ok := cpiEnvelopes[envKey{pol.Scheme, pol.Consistency}][kernel]
 	return env, ok
 }
 

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -146,7 +147,7 @@ func TestKernelsExerciseTheirChannels(t *testing.T) {
 // character of each defense.
 func TestCPIEnvelopes(t *testing.T) {
 	for _, c := range matrix(t) {
-		env, ok := CPIEnvelope(c.Policy.Scheme, c.Kernel)
+		env, ok := CPIEnvelope(c.Policy, c.Kernel)
 		if !ok {
 			t.Errorf("%s x %s: no CPI envelope defined", c.Policy, c.Kernel)
 			continue
@@ -194,6 +195,55 @@ func TestGoldenMatrix(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("security matrix changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDifferentialConsistencyTSOPrefix pins the stacked-matrix contract
+// that made adding the consistency axis safe: the legacy TSO policies are
+// an unchanged prefix of Policies(), and rendering just their cells
+// reproduces the golden matrix's leading lines byte for byte. If the new
+// machinery (the Consistency field, RCP's reversible paths, the RC store
+// buffer) perturbed any legacy TSO cell — verdict, rendering, or row
+// order — this diff would show it without any golden rebaseline.
+func TestDifferentialConsistencyTSOPrefix(t *testing.T) {
+	pols := Policies()
+	legacy := 1 + len(defense.AllSchemes())*len(defense.Variants())
+	if len(pols) <= legacy {
+		t.Fatalf("matrix has %d policies, want more than the %d legacy rows", len(pols), legacy)
+	}
+	for i, pol := range pols[:legacy] {
+		if pol.Consistency != defense.TSO {
+			t.Errorf("legacy row %d (%s): consistency %s, want TSO", i, pol, pol.Consistency)
+		}
+		if pol.Scheme == defense.RCP {
+			t.Errorf("legacy row %d: RCP must only appear after the legacy prefix", i)
+		}
+		if strings.Contains(pol.String(), "@") {
+			t.Errorf("legacy row %d renders as %q: TSO must stay implicit", i, pol)
+		}
+	}
+	legacySet := map[string]bool{}
+	for _, pol := range pols[:legacy] {
+		legacySet[pol.String()] = true
+	}
+	var cells []Cell
+	for _, c := range matrix(t) {
+		if legacySet[c.Policy.String()] {
+			cells = append(cells, c)
+		}
+	}
+	got := RenderMatrix(cells)
+	want, err := os.ReadFile(filepath.Join("testdata", "matrix.golden"))
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	lines := strings.SplitAfter(string(want), "\n")
+	if len(lines) < legacy+1 {
+		t.Fatalf("golden has %d lines, want at least %d", len(lines), legacy+1)
+	}
+	prefix := strings.Join(lines[:legacy+1], "")
+	if got != prefix {
+		t.Fatalf("legacy TSO rows diverged from the golden prefix:\n--- got ---\n%s\n--- want ---\n%s", got, prefix)
 	}
 }
 

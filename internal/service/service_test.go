@@ -152,6 +152,50 @@ func TestSubmitDedupes(t *testing.T) {
 	}
 }
 
+// TestSpecConsistencyNormalization pins the consistency axis on the wire
+// spec: TSO is the canonical default (so pre-existing specs keep their
+// job IDs), an explicit "tso" keys identically, "rc" is a distinct job
+// whose resolved VP condition mask drops the vacuous mcv condition, and
+// unknown model names are rejected.
+func TestSpecConsistencyNormalization(t *testing.T) {
+	base := tinySpec()
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Consistency != "TSO" {
+		t.Fatalf("default consistency = %q, want TSO", base.Consistency)
+	}
+	explicit := tinySpec()
+	explicit.Consistency = "tso"
+	if err := explicit.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Key() != base.Key() {
+		t.Fatal("explicit tso keyed differently from the default")
+	}
+	rc := tinySpec()
+	rc.Consistency = "rc"
+	if err := rc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Consistency != "RC" {
+		t.Fatalf("normalized consistency = %q, want RC", rc.Consistency)
+	}
+	if rc.Key() == base.Key() {
+		t.Fatal("RC spec collided with the TSO key")
+	}
+	for _, c := range rc.Conds {
+		if c == "mcv" {
+			t.Fatalf("RC spec kept the mcv condition: %v", rc.Conds)
+		}
+	}
+	bad := tinySpec()
+	bad.Consistency = "weak"
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("unknown consistency model normalized")
+	}
+}
+
 func TestBadSpecAndUnknownJob(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 	code, _, _ := postJob(t, ts, JobSpec{Benchmark: "no-such-bench"})

@@ -27,6 +27,9 @@ type JobSpec struct {
 	// ("fence", "EP", ...).
 	Scheme  string `json:"scheme,omitempty"`
 	Variant string `json:"variant,omitempty"`
+	// Consistency selects the memory consistency model, "TSO" (default)
+	// or "RC", case-insensitive.
+	Consistency string `json:"consistency,omitempty"`
 	// Conds overrides the VP condition mask ("ctrl", "alias",
 	// "exception", "mcv"); empty means the variant's natural set.
 	Conds []string `json:"conds,omitempty"`
@@ -71,6 +74,14 @@ func (s *JobSpec) Normalize() error {
 		return fmt.Errorf("service: %w", err)
 	}
 	s.Variant = v.String()
+	if s.Consistency == "" {
+		s.Consistency = defense.TSO.String()
+	}
+	con, err := defense.ParseConsistency(s.Consistency)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.Consistency = con.String()
 	var mask defense.Cond
 	for _, name := range s.Conds {
 		c, err := defense.ParseCond(name)
@@ -79,7 +90,7 @@ func (s *JobSpec) Normalize() error {
 		}
 		mask |= c
 	}
-	pol := defense.Policy{Scheme: sch, Variant: v, Conds: mask}
+	pol := defense.Policy{Scheme: sch, Variant: v, Conds: mask, Consistency: con}
 	s.Conds = pol.VPConds().Names()
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -127,6 +138,7 @@ func (s JobSpec) Key() string {
 		Scheme:      pol.Scheme.String(),
 		Variant:     pol.Variant.String(),
 		Conds:       uint8(pol.VPConds()),
+		Consistency: pol.Consistency.String(),
 		Seed:        s.Seed,
 		Warmup:      s.Warmup,
 		Measure:     s.Measure,
@@ -145,6 +157,12 @@ func (s JobSpec) policy() (defense.Policy, error) {
 	if err != nil {
 		return defense.Policy{}, err
 	}
+	con := defense.TSO
+	if s.Consistency != "" {
+		if con, err = defense.ParseConsistency(s.Consistency); err != nil {
+			return defense.Policy{}, err
+		}
+	}
 	var mask defense.Cond
 	for _, name := range s.Conds {
 		c, err := defense.ParseCond(name)
@@ -153,7 +171,7 @@ func (s JobSpec) policy() (defense.Policy, error) {
 		}
 		mask |= c
 	}
-	return defense.Policy{Scheme: sch, Variant: v, Conds: mask}, nil
+	return defense.Policy{Scheme: sch, Variant: v, Conds: mask, Consistency: con}, nil
 }
 
 // workload resolves the spec's benchmark proxy.

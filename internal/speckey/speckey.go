@@ -52,6 +52,13 @@ type Spec struct {
 	// benchmark runs. Keeping it in the spec means a kernel-parameter
 	// change can never alias a cached result.
 	Attack string
+	// Consistency is the memory consistency model name ("TSO", "RC").
+	// Both "" and "TSO" mean the paper's TSO machine and are omitted from
+	// the canonical encoding, so every key derived before the axis
+	// existed stays valid: warm caches are not invalidated by the new
+	// field. Injectivity is preserved because a non-TSO value adds a
+	// field name no TSO encoding contains.
+	Consistency string
 }
 
 // Canonical returns the versioned canonical encoding of the spec. Every
@@ -73,6 +80,9 @@ func (s Spec) Canonical() string {
 	field("trace", strconv.Itoa(s.TraceBuffer))
 	field("config", ConfigCanonical(s.Config))
 	field("attack", s.Attack)
+	if s.Consistency != "" && s.Consistency != "TSO" {
+		field("consistency", s.Consistency)
+	}
 	return b.String()
 }
 

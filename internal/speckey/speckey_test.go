@@ -57,6 +57,55 @@ func TestKeyDistinguishesEveryField(t *testing.T) {
 	}
 }
 
+// TestConsistencyAxisKeys pins the compatibility contract of the
+// consistency axis: "" and "TSO" encode identically (and byte-identically
+// to the encoding that existed before the axis, so warm caches survive),
+// while "RC" produces a distinct key for otherwise-identical specs.
+func TestConsistencyAxisKeys(t *testing.T) {
+	legacy := baseSpec()
+	tso := baseSpec()
+	tso.Consistency = "TSO"
+	rc := baseSpec()
+	rc.Consistency = "RC"
+
+	if legacy.Canonical() != tso.Canonical() {
+		t.Fatalf("explicit TSO changed the encoding:\n  %q\nvs\n  %q",
+			legacy.Canonical(), tso.Canonical())
+	}
+	// Reconstruct the pre-axis encoding by hand: the field list ended at
+	// "attack". A TSO spec must still produce exactly those bytes.
+	if c := legacy.Canonical(); !strings.HasSuffix(c, "|attack=0:") {
+		t.Fatalf("TSO encoding gained trailing fields: %q", c)
+	}
+	if strings.Contains(legacy.Canonical(), "consistency") {
+		t.Fatalf("TSO encoding mentions the consistency field: %q", legacy.Canonical())
+	}
+	if legacy.Key() == rc.Key() {
+		t.Fatal("RC spec collided with the TSO spec")
+	}
+	if !strings.HasSuffix(rc.Canonical(), "|consistency=2:RC") {
+		t.Fatalf("RC encoding lacks the consistency field: %q", rc.Canonical())
+	}
+	// The RCP scheme is an ordinary Scheme string and must key distinctly.
+	rcp := baseSpec()
+	rcp.Scheme = "RCP"
+	if rcp.Key() == legacy.Key() {
+		t.Fatal("RCP scheme collided with the base scheme")
+	}
+	rcpRC := rcp
+	rcpRC.Consistency = "RC"
+	keys := map[string]string{
+		"base": legacy.Key(), "rc": rc.Key(), "rcp": rcp.Key(), "rcp-rc": rcpRC.Key(),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("specs %s and %s share key %s", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
 // TestKeyInjectiveAcrossFieldBoundaries checks that the length-prefixed
 // encoding keeps adjacent string fields apart: moving a byte from one
 // field into the next must change the key even though the concatenated

@@ -54,13 +54,25 @@ type Scheme = defense.Scheme
 
 // Defense scheme values (paper Table 2), plus the InvisiSpec-style
 // invisible-execution scheme (IS) the paper lists as a protectable
-// category.
+// category and the reversible-rollback scheme (RCP) that journals
+// speculative coherence state and reverses it on squash.
 const (
 	Unsafe = defense.Unsafe
 	Fence  = defense.Fence
 	DOM    = defense.DOM
 	STT    = defense.STT
 	IS     = defense.IS
+	RCP    = defense.RCP
+)
+
+// Consistency is the memory consistency model a run simulates.
+type Consistency = defense.Consistency
+
+// Consistency model values: TSO (the default, the paper's baseline) and
+// RC (release consistency, under which the MCV squash source is vacuous).
+const (
+	TSO = defense.TSO
+	RC  = defense.RC
 )
 
 // Variant is a configuration extension (Comp, LP, EP, Spectre).
@@ -159,6 +171,9 @@ type RunSpec struct {
 	Scheme  Scheme
 	Variant Variant
 	Conds   Cond
+
+	// Consistency selects the memory consistency model (default TSO).
+	Consistency Consistency
 
 	// Config overrides the machine; zero value means PaperConfig with the
 	// workload's natural core count.
@@ -265,7 +280,8 @@ func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 	if measure == 0 {
 		measure = DefaultMeasure
 	}
-	policy := defense.Policy{Scheme: spec.Scheme, Variant: spec.Variant, Conds: spec.Conds}
+	policy := defense.Policy{Scheme: spec.Scheme, Variant: spec.Variant, Conds: spec.Conds,
+		Consistency: spec.Consistency}
 	sys, err := core.New(cfg, policy, w, seed)
 	if err != nil {
 		return Result{}, err
@@ -372,12 +388,14 @@ func SpecKey(spec RunSpec) (string, error) {
 	if measure == 0 {
 		measure = DefaultMeasure
 	}
-	pol := defense.Policy{Scheme: spec.Scheme, Variant: spec.Variant, Conds: spec.Conds}
+	pol := defense.Policy{Scheme: spec.Scheme, Variant: spec.Variant, Conds: spec.Conds,
+		Consistency: spec.Consistency}
 	k := speckey.Spec{
 		Benchmark:   name,
 		Scheme:      spec.Scheme.String(),
 		Variant:     spec.Variant.String(),
 		Conds:       uint8(pol.VPConds()),
+		Consistency: spec.Consistency.String(),
 		Seed:        seed,
 		Warmup:      warmup,
 		Measure:     measure,

@@ -235,6 +235,31 @@ echo "    0 executions, $hits peer hits"
 cmp "$workdir/peerwarm/figure7.csv" "$workdir/local/figure7.csv" \
     || { echo "warm peered CSV differs from the in-process run"; exit 1; }
 
+echo "--- mixed TSO/RC sweep: consistency is part of the job identity"
+# The same (bench, scheme, variant) under TSO and RC are distinct
+# SpecKeys; an explicit -consistency tso is the canonical default and
+# must dedupe against it. 4 schemes x 2 models = 8 distinct jobs, of
+# which the 4 explicit-tso resubmits below add nothing.
+mixed_before=$(metric_sum svc.executed)
+for sch in unsafe fence dom rcp; do
+    for con in "" rc; do
+        "$workdir/plctl" -server "${purls[$((RANDOM % 3))]}" submit \
+            -bench gcc_r -scheme "$sch" -consistency "$con" \
+            -warmup 200 -measure 1500 -wait >/dev/null \
+            || { echo "mixed sweep submit ($sch/${con:-tso}) failed"; exit 1; }
+    done
+done
+for sch in unsafe fence dom rcp; do
+    "$workdir/plctl" -server "${purls[$((RANDOM % 3))]}" submit \
+        -bench gcc_r -scheme "$sch" -consistency tso \
+        -warmup 200 -measure 1500 -wait >/dev/null \
+        || { echo "explicit-tso resubmit ($sch) failed"; exit 1; }
+done
+mixed_after=$(metric_sum svc.executed)
+mixed_exec=$((mixed_after - mixed_before))
+[ "$mixed_exec" -eq 8 ] || { echo "mixed TSO/RC sweep executed $mixed_exec jobs fleet-wide, want exactly 8"; exit 1; }
+echo "    8 distinct jobs executed once each; explicit-tso deduped"
+
 echo "--- plctl cache probe: hit exits 0, miss exits 2"
 probe_id=$("$workdir/plctl" -server "${purls[0]}" submit \
     -bench gcc_r -scheme fence -variant ep -warmup 200 -measure 1000 -wait \

@@ -43,6 +43,17 @@ func TestSpecKeyCanonicalization(t *testing.T) {
 	if k5, _ := SpecKey(small); k5 == k1 {
 		t.Fatal("different measure collided")
 	}
+	// Explicit TSO is the default — same key; RC is a different run.
+	tso := base
+	tso.Consistency = TSO
+	if k6, _ := SpecKey(tso); k6 != k1 {
+		t.Fatal("explicit TSO keyed differently from the default")
+	}
+	rc := base
+	rc.Consistency = RC
+	if k7, _ := SpecKey(rc); k7 == k1 {
+		t.Fatal("different consistency model collided")
+	}
 }
 
 func TestSpecKeyRejectsCustomWorkload(t *testing.T) {
